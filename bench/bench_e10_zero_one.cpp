@@ -1,0 +1,74 @@
+// E10 — Theorem 3.3 (generalized 0-1 principle): if a circuit sorts an
+// alpha fraction of every S_k, it sorts >= 1 - (1-alpha)(n+1) of all
+// permutations. Sweeps truncated odd-even-transposition networks and
+// under-iterated shearsort meshes through the bound.
+#include "bench_support.h"
+#include "theory/network.h"
+#include "theory/zero_one.h"
+
+using namespace pdm;
+using namespace pdm::bench;
+using namespace pdm::theory;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  banner("E10 / Theorem 3.3",
+         "Generalized 0-1 principle: permutation success rate >= "
+         "1 - (1 - min_k alpha_k)(n+1). alpha_k measured exhaustively per "
+         "k; permutation rate by Monte Carlo.");
+
+  Rng rng(cli.get_u64("seed", 42));
+  const u64 trials = cli.get_u64("trials", 20000);
+
+  {
+    const u32 n = 12;
+    Table t({"network", "ops", "min alpha_k", "bound", "measured perm rate",
+             "bound holds"});
+    for (u32 rounds : {6u, 8u, 9u, 10u, 11u, 12u}) {
+      auto net = odd_even_transposition(n, rounds);
+      auto per_k = estimate_alpha_per_k(net, 0, rng);
+      const double bound = generalized_zero_one_bound(per_k.min_alpha, n);
+      const double rate = permutation_success_rate(net, trials, rng);
+      t.row()
+          .cell("oe-transposition(" + std::to_string(n) + ", rounds=" +
+                std::to_string(rounds) + ")")
+          .cell(net.num_ops())
+          .cell(per_k.min_alpha, 5)
+          .cell(bound, 4)
+          .cell(rate, 4)
+          .cell(rate + 0.01 >= bound);
+    }
+    std::cout << "-- truncated odd-even transposition, n = 12 --\n";
+    t.print(std::cout);
+  }
+  {
+    Table t({"network", "min alpha_k", "bound", "measured perm rate",
+             "bound holds"});
+    for (u32 iters : {1u, 2u, 3u}) {
+      const u32 rows = 4, cols = 4;
+      auto net = shearsort(rows, cols, iters);
+      auto order = snake_order(rows, cols);
+      auto per_k =
+          estimate_alpha_per_k(net, 0, rng, std::span<const u32>(order));
+      const double bound =
+          generalized_zero_one_bound(per_k.min_alpha, rows * cols);
+      const double rate = permutation_success_rate(
+          net, trials, rng, std::span<const u32>(order));
+      t.row()
+          .cell("shearsort(4x4, iters=" + std::to_string(iters) + ")")
+          .cell(per_k.min_alpha, 5)
+          .cell(bound, 4)
+          .cell(rate, 4)
+          .cell(rate + 0.01 >= bound);
+    }
+    std::cout << "-- under-iterated shearsort (Chlebus's setting, which "
+                 "the paper formalizes) --\n";
+    t.print(std::cout);
+  }
+  std::cout
+      << "Expected shape: every row satisfies rate >= bound; the bound is "
+         "vacuous (0) until alpha gets within 1/(n+1) of 1, then climbs "
+         "steeply — exactly the regime the theorem targets. Full networks "
+         "(alpha = 1) show rate = bound = 1.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E11 — Lemma 4.2 (the shuffling lemma): after sorting the q-record parts
+// of a random permutation and shuffling them, every record is within
+// (n/sqrt(q)) sqrt((a+2) ln n + 1) + n/q of its sorted position w.p.
+// >= 1 - n^-a. Monte-Carlo sweep over (n, q).
+#include "bench_support.h"
+#include "theory/shuffling_lemma.h"
+
+using namespace pdm;
+using namespace pdm::bench;
+using namespace pdm::theory;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  banner("E11 / Lemma 4.2",
+         "Shuffling lemma: measured max displacement vs the bound "
+         "(n/sqrt(q))*sqrt((a+2)ln n + 1) + n/q.");
+
+  Rng rng(cli.get_u64("seed", 7));
+  const u64 trials = cli.get_u64("trials", 30);
+  const double alpha = cli.get_double("alpha", 1.0);
+
+  Table t({"n", "q", "trials", "worst max-disp", "mean disp (worst trial)",
+           "bound", "worst/bound", "violations"});
+  for (u64 n : {u64{1} << 12, u64{1} << 14, u64{1} << 16}) {
+    for (u64 q : {n / 64, n / 16, n / 4}) {
+      if (q == 0 || n % q != 0) continue;
+      auto agg = shuffling_trials(n, q, alpha, trials, rng);
+      t.row()
+          .cell(fmt_count(n))
+          .cell(q)
+          .cell(trials)
+          .cell(agg.worst.max_displacement)
+          .cell(agg.worst.mean_displacement, 1)
+          .cell(agg.worst.bound, 1)
+          .cell(static_cast<double>(agg.worst.max_displacement) /
+                    agg.worst.bound,
+                3)
+          .cell(agg.violations);
+    }
+  }
+  t.print(std::cout);
+  std::cout
+      << "Expected shape: zero violations everywhere (the lemma holds "
+         "w.p. >= 1 - n^-alpha) and worst/bound well below 1 — the bound "
+         "is conservative by roughly the sqrt(ln n) factor, which is why "
+         "the paper notes it \"yields better constants than the "
+         "generalized zero-one principle\" yet is still loose.\n";
+  return 0;
+}

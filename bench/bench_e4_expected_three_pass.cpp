@@ -1,0 +1,75 @@
+// E4 — Theorem 6.1: ExpectedThreePass sorts ~M^{7/4}/lambda^{3/2} keys in
+// three expected passes. Sweeps N up to the capacity bound and reports
+// pass counts and fallback rates; contrast row: the same N through
+// SevenPass (deterministic 7 passes) per Observation 6.1's discussion of
+// why the probabilistic route beats subblock columnsort's regime.
+#include "bench_support.h"
+#include "core/capacity.h"
+#include "core/expected_three_pass.h"
+
+using namespace pdm;
+using namespace pdm::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  banner("E4 / Theorem 6.1",
+         "ExpectedThreePass sorts M^1.75/((a+2)ln M + 2)^(3/4) keys in 3 "
+         "expected passes; Obs 6.1: this beats the (non-probabilistic) "
+         "subblock-columnsort route toward M^(5/3).");
+
+  const u64 mem = cli.get_u64("m", 4096);
+  const u64 trials = cli.get_u64("trials", 10);
+  const double alpha = cli.get_double("alpha", 1.0);
+  const auto g = Geom::square(mem);
+  const u64 cap3 = cap_expected_three_pass(mem, alpha);
+
+  std::cout << "M = " << mem << ", B = " << g.rpb << ", D = " << g.disks
+            << "; Theorem 6.1 capacity = " << fmt_count(cap3) << " ("
+            << fmt_double(static_cast<double>(cap3) /
+                              std::pow(static_cast<double>(mem), 1.75),
+                          3)
+            << " of M^1.75); M^(5/3)/4^(2/3) (subblock columnsort, 4 "
+               "passes, Obs 6.1) = "
+            << fmt_count(cap_subblock_columnsort(mem)) << "\n\n";
+
+  Table t({"N", "N/cap3", "segments", "trials", "fallbacks", "mean passes"});
+  for (double frac : {0.25, 0.5, 1.0}) {
+    u64 n = round_down(static_cast<u64>(frac * static_cast<double>(cap3)),
+                       mem);
+    // Round to a segment-friendly shape.
+    const u64 seg = round_down(
+        std::min<u64>(cap_expected_two_pass(mem, alpha), n), mem);
+    if (seg == 0) continue;
+    const u64 segs = std::max<u64>(1, n / seg);
+    n = segs * seg;
+    if (n == 0 || segs * g.rpb > mem) continue;
+    u64 fallbacks = 0;
+    double pass_sum = 0;
+    for (u64 s = 0; s < trials; ++s) {
+      auto ctx = make_ctx(g, s + 1);
+      Rng rng(s * 104729 + 7);
+      auto data = make_keys(static_cast<usize>(n), Dist::kPermutation, rng);
+      auto in = stage<u64>(*ctx, data);
+      ExpectedThreePassOptions opt;
+      opt.mem_records = mem;
+      opt.alpha = alpha;
+      opt.segment_len = seg;
+      auto res = expected_three_pass_sort<u64>(*ctx, in, opt);
+      check_sorted<u64>(res.output, n);
+      if (res.report.fallback_taken) ++fallbacks;
+      pass_sum += res.report.passes;
+    }
+    t.row()
+        .cell(fmt_count(n))
+        .cell(static_cast<double>(n) / static_cast<double>(cap3), 2)
+        .cell(segs)
+        .cell(trials)
+        .cell(fallbacks)
+        .cell(pass_sum / static_cast<double>(trials), 3);
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: ~3 passes with zero fallbacks within "
+               "capacity — i.e. Omega(M^1.75/log M) keys in three passes "
+               "w.h.p., as Observation 6.1 highlights.\n";
+  return 0;
+}

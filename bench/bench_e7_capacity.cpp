@@ -1,0 +1,154 @@
+// E7 — the capacity table (Observations 4.1, 5.1, 6.1 and the §1 "New
+// Results" list): how many keys each method sorts at its pass budget.
+// Analytic columns for every method; runnable methods verified by an
+// actual sort at (a divisor-friendly fraction of) the stated capacity.
+#include "bench_support.h"
+#include "baselines/columnsort.h"
+#include "core/capacity.h"
+#include "core/expected_six_pass.h"
+#include "core/expected_three_pass.h"
+#include "core/expected_two_pass.h"
+#include "core/seven_pass.h"
+#include "core/three_pass_lmm.h"
+
+using namespace pdm;
+using namespace pdm::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  banner("E7 / capacity table",
+         "Keys sorted per pass budget at B = sqrt(M) (except columnsort "
+         "rows). Paper: ThreePass sorts M^1.5 vs columnsort's "
+         "M*sqrt(M/2) (Obs 4.1); ExpectedTwoPass ~M^1.5/lambda (Thm 5.1) "
+         "vs the columnsort variant's /2*lambda (Obs 5.1).");
+
+  const u64 mem = cli.get_u64("m", 4096);
+  const double alpha = cli.get_double("alpha", 1.0);
+  const auto g = Geom::square(mem);
+  const double m15 = static_cast<double>(mem) * isqrt(mem);
+
+  Table t({"method", "passes", "capacity (records)", "vs M^1.5", "verified"});
+
+  auto verify = [&](auto&& fn, u64 n) -> bool {
+    auto ctx = make_ctx(g);
+    Rng rng(n);
+    auto data = make_keys(static_cast<usize>(n), Dist::kPermutation, rng);
+    auto in = stage<u64>(*ctx, data);
+    auto res = fn(*ctx, in);
+    check_sorted<u64>(res.output, n);
+    return !res.report.fallback_taken;
+  };
+
+  {
+    const u64 cap = round_down(cap_expected_two_pass(mem, alpha), mem);
+    const bool ok = verify(
+        [&](PdmContext& c, const StripedRun<u64>& in) {
+          ExpectedTwoPassOptions o;
+          o.mem_records = mem;
+          o.alpha = alpha;
+          return expected_two_pass_sort<u64>(c, in, o);
+        },
+        cap);
+    t.row()
+        .cell("ExpectedTwoPass (Thm 5.1)")
+        .cell("2 expected")
+        .cell(fmt_count(cap))
+        .cell(static_cast<double>(cap) / m15, 3)
+        .cell(ok);
+  }
+  {
+    const u64 cap = cap_expected_two_pass_mesh(mem, alpha);
+    t.row()
+        .cell("mesh variant (Thm 3.2)")
+        .cell("2 expected")
+        .cell(fmt_count(cap))
+        .cell(static_cast<double>(cap) / m15, 3)
+        .cell("(same engine)");
+  }
+  {
+    // Observation 5.1: columnsort-based expected-two-pass variant sorts
+    // M^1.5/sqrt(4((a+2)ln M + 2)) — half of Theorem 5.1's count.
+    const u64 cap = static_cast<u64>(
+        m15 / std::sqrt(4.0 * ((alpha + 2.0) *
+                                   std::log(static_cast<double>(mem)) +
+                               2.0)));
+    t.row()
+        .cell("columnsort variant (Obs 5.1)")
+        .cell("2 expected")
+        .cell(fmt_count(cap))
+        .cell(static_cast<double>(cap) / m15, 3)
+        .cell("(analytic)");
+  }
+  {
+    const u64 cap = cap_three_pass(mem, g.rpb);
+    const bool ok = verify(
+        [&](PdmContext& c, const StripedRun<u64>& in) {
+          ThreePassLmmOptions o;
+          o.mem_records = mem;
+          return three_pass_lmm_sort<u64>(c, in, o);
+        },
+        cap);
+    t.row()
+        .cell("ThreePass1/2 (Thm 3.1, Lem 4.1)")
+        .cell("3")
+        .cell(fmt_count(cap))
+        .cell(1.0, 3)
+        .cell(ok);
+  }
+  {
+    const u64 cap = max_columnsort_n(mem, g.rpb);
+    const bool ok = verify(
+        [&](PdmContext& c, const StripedRun<u64>& in) {
+          ColumnsortOptions o;
+          o.mem_records = mem;
+          return columnsort_cc_sort<u64>(c, in, o);
+        },
+        cap);
+    t.row()
+        .cell("CC columnsort [7] (Obs 4.1)")
+        .cell("3")
+        .cell(fmt_count(cap) + " (theory " +
+              fmt_count(cap_columnsort_cc(mem)) + ")")
+        .cell(static_cast<double>(cap_columnsort_cc(mem)) / m15, 3)
+        .cell(ok);
+  }
+  {
+    const u64 cap = cap_expected_three_pass(mem, alpha);
+    t.row()
+        .cell("ExpectedThreePass (Thm 6.1)")
+        .cell("3 expected")
+        .cell(fmt_count(cap))
+        .cell(static_cast<double>(cap) / m15, 3)
+        .cell("(E4 verifies)");
+  }
+  {
+    t.row()
+        .cell("subblock columnsort [8] (Obs 6.1)")
+        .cell("4")
+        .cell(fmt_count(cap_subblock_columnsort(mem)))
+        .cell(static_cast<double>(cap_subblock_columnsort(mem)) / m15, 3)
+        .cell("(analytic; paper argues no expected-pass version exists)");
+  }
+  {
+    t.row()
+        .cell("ExpectedSixPass (Thm 6.3)")
+        .cell("6 expected")
+        .cell(fmt_count(cap_expected_six_pass(mem, alpha)))
+        .cell(static_cast<double>(cap_expected_six_pass(mem, alpha)) / m15, 3)
+        .cell("(E6 verifies)");
+  }
+  {
+    t.row()
+        .cell("SevenPass (Thm 6.2)")
+        .cell("7")
+        .cell(fmt_count(cap_seven_pass(mem)))
+        .cell(static_cast<double>(cap_seven_pass(mem)) / m15, 3)
+        .cell("(E5 verifies)");
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: ThreePass capacity / columnsort capacity "
+               "~= sqrt(2) (Obs 4.1; block-alignment shaves the realized "
+               "columnsort figure further); Thm 5.1's capacity ~2x Obs "
+               "5.1's.\n";
+  return 0;
+}

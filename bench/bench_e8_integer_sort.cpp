@@ -1,0 +1,125 @@
+// E8 — Theorem 7.1: IntegerSort takes (1+mu) passes without the placement
+// step and 2(1+mu) with it, mu < 1, for keys in [0, M/B). Sweeps C
+// (= M/(D*B)), key distribution, and the two implementation ablations:
+// staged partial blocks (extension) and bucket block placement.
+#include "bench_support.h"
+#include "core/integer_sort.h"
+
+using namespace pdm;
+using namespace pdm::bench;
+
+namespace {
+
+struct Config {
+  const char* name;
+  bool staged;
+  BucketPlacement placement;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  banner("E8 / Theorem 7.1",
+         "IntegerSort (keys in [0, M/B)): (1+mu) passes without placement, "
+         "2(1+mu) with, mu < 1. Ablations: staged partial blocks; bucket "
+         "placement policy.");
+
+  const u64 mem = cli.get_u64("m", 4096);
+  const u64 n = cli.get_u64("n", 16 * mem);
+  const u64 s = isqrt(mem);
+
+  // Part 1: C sweep (D = sqrt(M)/C) at fixed N, uniform keys.
+  {
+    Table t({"C", "D", "passes (no placement)", "mu", "passes (with placement)",
+             "pad fraction"});
+    for (u64 c : {2ull, 4ull, 8ull}) {
+      const u32 disks = static_cast<u32>(s / c);
+      const Geom g{mem, s, disks};
+      const u64 range = mem / s;
+      Rng rng(c);
+      auto data = make_int_keys(static_cast<usize>(n), range, rng);
+      double p_no, p_with, padfrac;
+      {
+        auto ctx = make_ctx(g);
+        auto in = stage<u64>(*ctx, data);
+        IntegerSortOptions opt;
+        opt.mem_records = mem;
+        opt.range = range;
+        opt.placement_pass = false;
+        auto res = integer_sort<u64>(*ctx, in, opt);
+        p_no = res.report.passes;
+        padfrac = static_cast<double>(res.pad_records) /
+                  static_cast<double>(n);
+      }
+      {
+        auto ctx = make_ctx(g);
+        auto in = stage<u64>(*ctx, data);
+        IntegerSortOptions opt;
+        opt.mem_records = mem;
+        opt.range = range;
+        auto res = integer_sort<u64>(*ctx, in, opt);
+        check_sorted<u64>(res.output, n);
+        p_with = res.report.passes;
+      }
+      t.row()
+          .cell(c)
+          .cell(u64{disks})
+          .cell(p_no, 3)
+          .cell(p_no - 1.0, 3)
+          .cell(p_with, 3)
+          .cell(padfrac, 3);
+    }
+    std::cout << "-- C sweep (uniform keys, N = " << fmt_count(n)
+              << ", range = M/B = " << mem / s << ") --\n";
+    t.print(std::cout);
+  }
+
+  // Part 2: ablations at C = 4, uniform vs zipf.
+  {
+    const Geom g = Geom::square(mem);
+    const u64 range = mem / s;
+    Table t({"distribution", "mode", "passes", "read-passes", "write-passes",
+             "pad fraction", "util"});
+    const Config configs[] = {
+        {"paper/rotation", false, BucketPlacement::kRotation},
+        {"paper/balanced", false, BucketPlacement::kBalancedBatch},
+        {"staged/rotation", true, BucketPlacement::kRotation},
+        {"staged/balanced", true, BucketPlacement::kBalancedBatch},
+    };
+    for (bool zipf : {false, true}) {
+      Rng rng(99);
+      auto data = zipf ? make_skewed_int_keys(static_cast<usize>(n), range,
+                                              rng)
+                       : make_int_keys(static_cast<usize>(n), range, rng);
+      for (const auto& cfg : configs) {
+        auto ctx = make_ctx(g);
+        auto in = stage<u64>(*ctx, data);
+        IntegerSortOptions opt;
+        opt.mem_records = mem;
+        opt.range = range;
+        opt.staged = cfg.staged;
+        opt.placement = cfg.placement;
+        auto res = integer_sort<u64>(*ctx, in, opt);
+        check_sorted<u64>(res.output, n);
+        t.row()
+            .cell(zipf ? "zipf" : "uniform")
+            .cell(cfg.name)
+            .cell(res.report.passes, 3)
+            .cell(res.report.read_passes, 3)
+            .cell(res.report.write_passes, 3)
+            .cell(static_cast<double>(res.pad_records) /
+                      static_cast<double>(n),
+                  3)
+            .cell(res.report.utilization, 2);
+      }
+    }
+    std::cout << "-- ablations (C = 4, with placement pass) --\n";
+    t.print(std::cout);
+  }
+  std::cout << "Expected shape: mu < 1 in every configuration (Theorem "
+               "7.1); the staged extension removes nearly all padding; "
+               "rotation placement keeps reads parallel and wins "
+               "overall.\n";
+  return 0;
+}

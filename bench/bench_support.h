@@ -1,0 +1,76 @@
+// Shared helpers for the experiment harness (bench_e*). Every binary
+// prints (a) the experiment id and the paper claim it regenerates, and
+// (b) one or more markdown tables whose rows are recorded in
+// EXPERIMENTS.md as paper-vs-measured.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sort_report.h"
+#include "pdm/pdm_context.h"
+#include "pdm/striped_run.h"
+#include "util/cli.h"
+#include "util/generators.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace pdm::bench {
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n================================================================\n"
+            << id << "\n" << claim << "\n"
+            << "================================================================\n\n";
+}
+
+/// Standard geometry: B = sqrt(M), D = sqrt(M)/C.
+struct Geom {
+  u64 mem;
+  u64 rpb;
+  u32 disks;
+
+  static Geom square(u64 mem, u64 c = 4) {
+    const u64 s = isqrt(mem);
+    PDM_CHECK(s * s == mem, "M must be a perfect square");
+    return Geom{mem, s, static_cast<u32>(std::max<u64>(1, s / c))};
+  }
+};
+
+template <Record R = u64>
+std::unique_ptr<PdmContext> make_ctx(const Geom& g, u64 seed = 1) {
+  return make_memory_context(g.disks, g.rpb * sizeof(R), seed);
+}
+
+/// Stages input and zeroes stats so only the sorter's I/O is measured.
+template <Record R>
+StripedRun<R> stage(PdmContext& ctx, const std::vector<R>& data) {
+  auto run = write_input_run<R>(ctx, std::span<const R>(data));
+  ctx.io().reset_stats();
+  return run;
+}
+
+/// Fails loudly (benches must not silently report on wrong output).
+template <Record R>
+void check_sorted(const StripedRun<R>& out, u64 expect_n) {
+  PDM_CHECK(out.size() == expect_n, "bench: output size mismatch");
+  auto v = out.read_all();
+  for (usize i = 1; i < v.size(); ++i) {
+    PDM_CHECK(!(v[i] < v[i - 1]), "bench: output not sorted");
+  }
+}
+
+inline void add_report_cells(Table& t, const SortReport& r) {
+  t.cell(r.passes, 3)
+      .cell(r.read_passes, 3)
+      .cell(r.write_passes, 3)
+      .cell(fmt_double(r.utilization, 2) + "/" + std::to_string(r.disks))
+      .cell(r.fallback_taken);
+}
+
+inline std::vector<std::string> report_headers() {
+  return {"passes", "read-passes", "write-passes", "util", "fallback"};
+}
+
+}  // namespace pdm::bench

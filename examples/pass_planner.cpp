@@ -1,0 +1,53 @@
+// The pass planner as a command-line tool: given a PDM shape (N, M, B,
+// alpha) print every algorithm's feasibility, capacity and expected pass
+// count, the planner's choice, and the Lemma 2.1 lower bound — i.e. the
+// paper's §1 "New Results" list evaluated for *your* machine.
+//
+//   ./pass_planner --n=100000000 --m=1000000 [--b=1000] [--alpha=2]
+#include <iostream>
+
+#include "core/adaptive.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace pdm;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const u64 mem = cli.get_u64("m", 1u << 20);
+  const u64 b = cli.get_u64("b", isqrt(mem));
+  const u64 n = cli.get_u64("n", mem * b);
+  const double alpha = cli.get_double("alpha", 1.0);
+
+  std::cout << "PDM shape: N = " << fmt_count(n) << " records, M = "
+            << fmt_count(mem) << ", B = " << b << " (alpha = " << alpha
+            << ")\n"
+            << "Lower bound (Lemma 2.1): "
+            << fmt_double(lower_bound_passes_asymptotic(n, mem, b), 2)
+            << " passes asymptotic, "
+            << fmt_double(lower_bound_passes(n, mem, b), 2)
+            << " exact at this M\n\n";
+
+  Table t({"algorithm", "feasible here", "capacity", "expected passes",
+           "why / why not"});
+  for (const auto& e : plan_options(n, mem, b, alpha)) {
+    t.row()
+        .cell(algo_name(e.algo))
+        .cell(e.feasible)
+        .cell(e.capacity == ~u64{0} ? std::string("unbounded")
+                                    : fmt_count(e.capacity))
+        .cell(e.expected_passes, 2)
+        .cell(e.note);
+  }
+  t.print(std::cout);
+
+  try {
+    const PlanEntry choice = choose_plan(n, mem, b, alpha);
+    std::cout << "planner choice: " << algo_name(choice.algo) << " ("
+              << choice.expected_passes << " expected passes)\n";
+  } catch (const Error& e) {
+    std::cout << "planner: no feasible algorithm — " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Sorting timestamped event records (key + payload) with the expected-
+// two-pass algorithm — the scenario the paper's introduction motivates:
+// saving even one pass matters when the data is huge, and a 2-pass sort
+// that works on (1 - M^-alpha) of inputs is worth having when the rare
+// failure costs only a detected +3-pass fallback.
+//
+// The example sorts synthetic web-log events by timestamp, twice:
+// a realistic (random-arrival) log, which finishes in two passes, and an
+// adversarial nearly-reverse-chronological log, which trips the on-line
+// check and takes the documented fallback — output still correct.
+#include <iostream>
+
+#include "core/expected_two_pass.h"
+#include "util/cli.h"
+#include "util/generators.h"
+
+using namespace pdm;
+
+namespace {
+
+struct LogEvent {
+  u64 timestamp_us;
+  u32 user_id;
+  u16 url_hash;
+  u16 status;
+
+  friend auto operator<=>(const LogEvent& a, const LogEvent& b) {
+    return a.timestamp_us <=> b.timestamp_us;
+  }
+  friend bool operator==(const LogEvent&, const LogEvent&) = default;
+};
+static_assert(sizeof(LogEvent) == 16);
+
+std::vector<LogEvent> make_log(u64 n, bool adversarial, Rng& rng) {
+  std::vector<LogEvent> log(static_cast<usize>(n));
+  for (usize i = 0; i < log.size(); ++i) {
+    // Random arrivals vs (almost) reverse chronological order.
+    const u64 ts = adversarial ? (n - i) * 1000 : rng.below(n * 1000);
+    log[i] = LogEvent{ts, static_cast<u32>(rng.below(100000)),
+                      static_cast<u16>(rng.below(65536)),
+                      static_cast<u16>(rng.chance(0.98) ? 200 : 500)};
+  }
+  return log;
+}
+
+void run(const char* label, bool adversarial, u64 mem, u64 n, u32 disks) {
+  const u64 block_records = isqrt(mem);
+  auto ctx = make_memory_context(disks, block_records * sizeof(LogEvent));
+  Rng rng(7);
+  auto log = make_log(n, adversarial, rng);
+  auto input = write_input_run<LogEvent>(*ctx,
+                                         std::span<const LogEvent>(log));
+  ctx->io().reset_stats();
+
+  ExpectedTwoPassOptions opt;
+  opt.mem_records = mem;
+  auto res = expected_two_pass_sort<LogEvent>(*ctx, input, opt);
+
+  auto sorted = res.output.read_all();
+  for (usize i = 1; i < sorted.size(); ++i) {
+    PDM_CHECK(sorted[i - 1].timestamp_us <= sorted[i].timestamp_us,
+              "output not in timestamp order");
+  }
+  std::cout << label << ": " << n << " events, passes = "
+            << res.report.passes
+            << (res.report.fallback_taken
+                    ? " (displacement check fired -> 3-pass LMM fallback)"
+                    : " (clean two-pass run)")
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const u64 mem = cli.get_u64("m", 16384);
+  const u32 disks = static_cast<u32>(cli.get_u64("disks", 16));
+  const u64 n =
+      cli.get_u64("n", round_down(cap_expected_two_pass(mem, 1.0), mem));
+
+  std::cout << "Sorting web-log events by timestamp (M = " << mem
+            << " records, B = " << isqrt(mem) << ", D = " << disks
+            << "; Theorem 5.1 capacity = "
+            << cap_expected_two_pass(mem, 1.0) << ")\n\n";
+  run("random arrivals     ", false, mem, n, disks);
+  run("reverse chronological", true, mem, n, disks);
+  std::cout << "\nBoth outputs verified sorted. The adversarial log costs "
+               "the attempt plus three deterministic passes — detected on "
+               "line, never silently wrong (paper, section 5).\n";
+  return 0;
+}

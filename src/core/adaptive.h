@@ -1,0 +1,250 @@
+// AdaptiveSorter: the planner a downstream user calls when they just want
+// the data sorted in as few passes as the paper's toolbox allows. Given
+// (N, M, B, D, alpha) it enumerates the feasible algorithms with their
+// expected pass counts (paper §1's "New Results" list) and dispatches to
+// the cheapest.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/expected_six_pass.h"
+#include "core/expected_three_pass.h"
+#include "core/expected_two_pass.h"
+#include "core/seven_pass.h"
+#include "core/three_pass_lmm.h"
+#include "core/three_pass_mesh.h"
+#include "baselines/multiway_merge.h"
+
+namespace pdm {
+
+enum class Algo {
+  kInternal,
+  kExpectedTwoPass,
+  kThreePassLmm,
+  kThreePassMesh,
+  kExpectedThreePass,
+  kExpectedSixPass,
+  kSevenPass,
+  kMultiwayMerge,
+};
+
+inline const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kInternal: return "InternalSort";
+    case Algo::kExpectedTwoPass: return "ExpectedTwoPass";
+    case Algo::kThreePassLmm: return "ThreePass2(LMM)";
+    case Algo::kThreePassMesh: return "ThreePass1(mesh)";
+    case Algo::kExpectedThreePass: return "ExpectedThreePass";
+    case Algo::kExpectedSixPass: return "ExpectedSixPass";
+    case Algo::kSevenPass: return "SevenPass";
+    case Algo::kMultiwayMerge: return "MultiwayMerge";
+  }
+  return "?";
+}
+
+struct PlanEntry {
+  Algo algo{};
+  bool feasible = false;
+  double expected_passes = 0;
+  u64 capacity = 0;        // max N this algorithm handles at these params
+  std::string note;
+};
+
+/// Enumerates every algorithm with feasibility for the given shape. B and
+/// M are in records; alpha is the w.h.p. exponent for expected variants.
+inline std::vector<PlanEntry> plan_options(u64 n, u64 mem, u64 rpb,
+                                           double alpha) {
+  std::vector<PlanEntry> out;
+  const u64 s = isqrt(mem);
+  const bool square = s * s == mem;
+  const bool b_is_sqrt = square && rpb == s;
+
+  {
+    PlanEntry e;
+    e.algo = Algo::kInternal;
+    e.capacity = mem;
+    e.expected_passes = 1;
+    e.feasible = n <= mem;
+    e.note = "N <= M";
+    out.push_back(e);
+  }
+  {
+    PlanEntry e;
+    e.algo = Algo::kExpectedTwoPass;
+    e.capacity = cap_expected_two_pass(mem, alpha);
+    e.expected_passes = 2;
+    e.feasible = n > mem && n <= e.capacity && n % mem == 0;
+    e.note = "Theorem 5.1";
+    out.push_back(e);
+  }
+  {
+    PlanEntry e;
+    e.algo = Algo::kThreePassLmm;
+    e.capacity = cap_three_pass(mem, rpb);
+    e.expected_passes = 3;
+    e.feasible = n > mem && n <= e.capacity && n % mem == 0;
+    e.note = "Lemma 4.1";
+    out.push_back(e);
+  }
+  {
+    PlanEntry e;
+    e.algo = Algo::kThreePassMesh;
+    e.capacity = b_is_sqrt ? mem * s : 0;
+    e.expected_passes = 3;
+    e.feasible = b_is_sqrt && n == mem * s;
+    e.note = "Theorem 3.1 (exact N = M^1.5, B = sqrt(M))";
+    out.push_back(e);
+  }
+  {
+    PlanEntry e;
+    e.algo = Algo::kExpectedThreePass;
+    e.capacity = cap_expected_three_pass(mem, alpha);
+    e.expected_passes = 3;
+    e.feasible =
+        n > mem && n <= e.capacity && n % mem == 0 &&
+        detail::choose_three_pass_segment(n, mem, rpb, alpha) != 0;
+    e.note = "Theorem 6.1";
+    out.push_back(e);
+  }
+  {
+    PlanEntry e;
+    e.algo = Algo::kExpectedSixPass;
+    e.capacity = cap_expected_six_pass(mem, alpha);
+    e.expected_passes = 6;
+    e.feasible = b_is_sqrt && n <= e.capacity &&
+                 detail::choose_six_pass_segment(n, mem, rpb, alpha) != 0;
+    e.note = "Theorem 6.3";
+    out.push_back(e);
+  }
+  {
+    PlanEntry e;
+    e.algo = Algo::kSevenPass;
+    e.capacity = cap_seven_pass(mem);
+    e.expected_passes = 7;
+    e.feasible = b_is_sqrt && n <= e.capacity && n % (mem * s) == 0;
+    e.note = "Theorem 6.2";
+    out.push_back(e);
+  }
+  {
+    PlanEntry e;
+    e.algo = Algo::kMultiwayMerge;
+    e.capacity = ~u64{0};
+    e.expected_passes =
+        multiway_predicted_passes(n, mem, std::max<u64>(2, mem / rpb / 2));
+    e.feasible = n % rpb == 0;
+    e.note = "baseline; parallelism expected, not guaranteed";
+    out.push_back(e);
+  }
+  return out;
+}
+
+/// Picks the feasible plan with the fewest expected passes among the
+/// paper's algorithms (whose parallelism is guaranteed); the multiway
+/// baseline — whose *data* passes are few but whose parallel-I/O count is
+/// only an expectation — is chosen only when nothing else fits.
+inline PlanEntry choose_plan(u64 n, u64 mem, u64 rpb, double alpha) {
+  auto options = plan_options(n, mem, rpb, alpha);
+  const PlanEntry* best = nullptr;
+  for (const auto& e : options) {
+    if (!e.feasible || e.algo == Algo::kMultiwayMerge) continue;
+    if (best == nullptr || e.expected_passes < best->expected_passes) {
+      best = &e;
+    }
+  }
+  if (best == nullptr) {
+    for (const auto& e : options) {
+      if (e.feasible && e.algo == Algo::kMultiwayMerge) best = &e;
+    }
+  }
+  PDM_CHECK(best != nullptr,
+            "no feasible plan: N must be a multiple of B (and of M for the "
+            "small-pass algorithms)");
+  return *best;
+}
+
+struct AdaptiveOptions {
+  u64 mem_records = 0;
+  double alpha = 1.0;
+  ThreadPool* pool = nullptr;
+  std::optional<Algo> force;  // override the planner
+};
+
+/// Sorts with the planner-selected algorithm.
+template <Record R, class Cmp = std::less<R>>
+SortResult<R> pdm_sort(PdmContext& ctx, const StripedRun<R>& input,
+                       const AdaptiveOptions& opt, Cmp cmp = {}) {
+  const usize rpb = ctx.rpb<R>();
+  const Algo algo = opt.force.has_value()
+                        ? *opt.force
+                        : choose_plan(input.size(), opt.mem_records, rpb,
+                                      opt.alpha)
+                              .algo;
+  switch (algo) {
+    case Algo::kInternal: {
+      ReportBuilder rb(ctx, "InternalSort", input.size(), opt.mem_records,
+                       rpb);
+      TrackedBuffer<R> buf(ctx.budget(), static_cast<usize>(opt.mem_records));
+      const u64 nb = input.num_blocks();
+      input.read_blocks(0, nb, buf.data());
+      std::span<R> recs(buf.data(), static_cast<usize>(input.size()));
+      internal_sort(recs, cmp, opt.pool);
+      SortResult<R> res;
+      res.output = StripedRun<R>(ctx, 0);
+      res.output.append(std::span<const R>(recs.data(), recs.size()));
+      res.output.finish();
+      res.report = rb.finish();
+      return res;
+    }
+    case Algo::kExpectedTwoPass: {
+      ExpectedTwoPassOptions o;
+      o.mem_records = opt.mem_records;
+      o.alpha = opt.alpha;
+      o.pool = opt.pool;
+      return expected_two_pass_sort<R>(ctx, input, o, cmp);
+    }
+    case Algo::kThreePassLmm: {
+      ThreePassLmmOptions o;
+      o.mem_records = opt.mem_records;
+      o.pool = opt.pool;
+      return three_pass_lmm_sort<R>(ctx, input, o, cmp);
+    }
+    case Algo::kThreePassMesh: {
+      ThreePassMeshOptions o;
+      o.mem_records = opt.mem_records;
+      o.pool = opt.pool;
+      return three_pass_mesh_sort<R>(ctx, input, o, cmp);
+    }
+    case Algo::kExpectedThreePass: {
+      ExpectedThreePassOptions o;
+      o.mem_records = opt.mem_records;
+      o.alpha = opt.alpha;
+      o.pool = opt.pool;
+      return expected_three_pass_sort<R>(ctx, input, o, cmp);
+    }
+    case Algo::kExpectedSixPass: {
+      ExpectedSixPassOptions o;
+      o.mem_records = opt.mem_records;
+      o.alpha = opt.alpha;
+      o.pool = opt.pool;
+      return expected_six_pass_sort<R>(ctx, input, o, cmp);
+    }
+    case Algo::kSevenPass: {
+      SevenPassOptions o;
+      o.mem_records = opt.mem_records;
+      o.pool = opt.pool;
+      return seven_pass_sort<R>(ctx, input, o, cmp);
+    }
+    case Algo::kMultiwayMerge: {
+      MultiwaySortOptions o;
+      o.mem_records = opt.mem_records;
+      o.pool = opt.pool;
+      return multiway_merge_sort<R>(ctx, input, o, cmp);
+    }
+  }
+  fail("unreachable: unknown algorithm");
+}
+
+}  // namespace pdm

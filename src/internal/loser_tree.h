@@ -1,0 +1,95 @@
+// Tournament (loser) tree for k-way merging: O(log k) comparisons per
+// extracted record with a single comparison path per replacement. Used by
+// the LMM merge pass and the forecasting multiway merge baseline.
+#pragma once
+
+#include <bit>
+#include <functional>
+#include <vector>
+
+#include "util/common.h"
+
+namespace pdm {
+
+template <class R, class Cmp = std::less<R>>
+class LoserTree {
+ public:
+  explicit LoserTree(usize k, Cmp cmp = {})
+      : k_(k), cap_(std::bit_ceil(std::max<usize>(k, 2))), cmp_(cmp),
+        tree_(cap_, kNone), val_(cap_), alive_(cap_, false) {}
+
+  /// Sets the initial head record of source i. Call for every live source,
+  /// then build().
+  void set_initial(usize i, const R& v) {
+    PDM_CHECK(i < k_, "source out of range");
+    val_[i] = v;
+    alive_[i] = true;
+  }
+
+  /// Plays the initial tournament.
+  void build() { winner_ = play(1); }
+
+  bool empty() const { return winner_ == kNone || !alive_[winner_]; }
+
+  /// Source index holding the current minimum.
+  usize min_source() const { return winner_; }
+
+  const R& min_value() const { return val_[winner_]; }
+
+  /// Replaces the minimum with the next record from the same source.
+  void replace_min(const R& v) {
+    val_[winner_] = v;
+    replay();
+  }
+
+  /// Marks the minimum's source as exhausted.
+  void exhaust_min() {
+    alive_[winner_] = false;
+    replay();
+  }
+
+ private:
+  static constexpr usize kNone = static_cast<usize>(-1);
+
+  // Returns the winner (smaller) of the two leaf indices; dead leaves lose.
+  usize better(usize a, usize b) const {
+    if (a == kNone || !alive_[a]) return b;
+    if (b == kNone || !alive_[b]) return a;
+    return cmp_(val_[b], val_[a]) ? b : a;  // stable: prefer a on ties
+  }
+
+  usize play(usize node) {
+    if (node >= cap_) {
+      const usize leaf = node - cap_;
+      return leaf < k_ ? leaf : kNone;
+    }
+    const usize l = play(2 * node);
+    const usize r = play(2 * node + 1);
+    const usize w = better(l, r);
+    tree_[node] = (w == l) ? r : l;  // store the loser
+    return w;
+  }
+
+  void replay() {
+    usize cur = winner_;
+    for (usize node = (winner_ + cap_) / 2; node >= 1; node /= 2) {
+      const usize other = tree_[node];
+      const usize w = better(cur, other);
+      if (w != cur) {
+        tree_[node] = cur;
+        cur = other;
+      }
+    }
+    winner_ = cur;
+  }
+
+  usize k_;
+  usize cap_;
+  Cmp cmp_;
+  std::vector<usize> tree_;
+  std::vector<R> val_;
+  std::vector<bool> alive_;
+  usize winner_ = kNone;
+};
+
+}  // namespace pdm

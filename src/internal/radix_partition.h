@@ -1,0 +1,54 @@
+// In-memory counting partition by a key digit: the CPU kernel inside
+// IntegerSort's distribution phase (§7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pdm/record.h"
+#include "util/common.h"
+
+namespace pdm {
+
+/// Extracts `bits` key bits starting at `shift` (from bit 0 = LSB).
+template <Record R>
+u64 digit_of(const R& rec, u32 shift, u32 bits) {
+  const u64 mask = bits >= 64 ? ~u64{0} : ((u64{1} << bits) - 1);
+  return (record_key(rec) >> shift) & mask;
+}
+
+/// Counts digit occurrences into `counts` (must be sized 2^bits, zeroed by
+/// this function).
+template <Record R>
+void count_digits(std::span<const R> recs, u32 shift, u32 bits,
+                  std::span<u64> counts) {
+  std::fill(counts.begin(), counts.end(), u64{0});
+  for (const auto& r : recs) ++counts[digit_of(r, shift, bits)];
+}
+
+/// Scatters records into `out` grouped by digit; `offsets` must contain the
+/// exclusive prefix sums of the counts and is consumed (advanced) in place.
+template <Record R>
+void scatter_by_digit(std::span<const R> recs, std::span<R> out, u32 shift,
+                      u32 bits, std::span<u64> offsets) {
+  for (const auto& r : recs) {
+    out[offsets[digit_of(r, shift, bits)]++] = r;
+  }
+}
+
+/// Partitions `recs` by digit into `out`, returning the bucket boundaries
+/// (size 2^bits + 1, exclusive prefix sums).
+template <Record R>
+std::vector<u64> partition_by_digit(std::span<const R> recs, std::span<R> out,
+                                    u32 shift, u32 bits) {
+  const usize nb = usize{1} << bits;
+  std::vector<u64> counts(nb);
+  count_digits(recs, shift, bits, std::span<u64>(counts));
+  std::vector<u64> bounds(nb + 1, 0);
+  for (usize i = 0; i < nb; ++i) bounds[i + 1] = bounds[i] + counts[i];
+  std::vector<u64> cursor(bounds.begin(), bounds.end() - 1);
+  scatter_by_digit(recs, out, shift, bits, std::span<u64>(cursor));
+  return bounds;
+}
+
+}  // namespace pdm

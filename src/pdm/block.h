@@ -1,0 +1,37 @@
+// Block-level addressing for the Parallel Disk Model.
+//
+// A PDM instance has D independent disks; each disk is an array of
+// fixed-size blocks. One *parallel I/O operation* transfers at most one
+// block per disk. All higher layers (runs, matrices, sorters) reduce their
+// access patterns to vectors of block requests; the IoScheduler groups those
+// into parallel operations and charges them to the statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/common.h"
+
+namespace pdm {
+
+/// Address of one block: which disk, and the block index within that disk.
+struct BlockRef {
+  u32 disk = 0;
+  u64 index = 0;
+
+  friend bool operator==(const BlockRef&, const BlockRef&) = default;
+};
+
+/// A single-block read into caller-owned memory (block_bytes bytes).
+struct ReadReq {
+  BlockRef where;
+  std::byte* dst = nullptr;
+};
+
+/// A single-block write from caller-owned memory (block_bytes bytes).
+struct WriteReq {
+  BlockRef where;
+  const std::byte* src = nullptr;
+};
+
+}  // namespace pdm

@@ -1,0 +1,98 @@
+// BlockMatrix: a 2-D grid of blocks with diagonal striping, the layout the
+// mesh algorithm of §3.1 needs. Cell (r, c) lives on disk (r + c) mod D,
+// so both a full block-row and a full block-column of the grid touch every
+// disk and can be moved at full parallelism — the property the paper uses
+// to make each mesh phase one pass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pdm/pdm_context.h"
+#include "pdm/record.h"
+
+namespace pdm {
+
+template <Record R>
+class BlockMatrix {
+ public:
+  BlockMatrix(PdmContext& ctx, u64 block_rows, u64 block_cols)
+      : ctx_(&ctx),
+        block_rows_(block_rows),
+        block_cols_(block_cols),
+        rpb_(ctx.rpb<R>()),
+        cells_(static_cast<usize>(block_rows * block_cols)) {
+    for (u64 r = 0; r < block_rows; ++r) {
+      for (u64 c = 0; c < block_cols; ++c) {
+        const u32 disk = static_cast<u32>((r + c) % ctx.D());
+        cells_[idx(r, c)] = ctx.alloc().alloc(disk);
+      }
+    }
+  }
+
+  u64 block_rows() const noexcept { return block_rows_; }
+  u64 block_cols() const noexcept { return block_cols_; }
+  usize rpb() const noexcept { return rpb_; }
+  u64 records() const noexcept { return block_rows_ * block_cols_ * rpb_; }
+
+  ReadReq read_req(u64 r, u64 c, R* dst) const {
+    return ReadReq{cells_[idx(r, c)], reinterpret_cast<std::byte*>(dst)};
+  }
+
+  WriteReq write_req(u64 r, u64 c, const R* src) const {
+    return WriteReq{cells_[idx(r, c)],
+                    reinterpret_cast<const std::byte*>(src)};
+  }
+
+  /// Reads block-row r (all columns) into dst, one parallel batch.
+  void read_block_row(u64 r, R* dst) const {
+    std::vector<ReadReq> reqs;
+    reqs.reserve(static_cast<usize>(block_cols_));
+    for (u64 c = 0; c < block_cols_; ++c) {
+      reqs.push_back(read_req(r, c, dst + c * rpb_));
+    }
+    ctx_->io().read(reqs);
+  }
+
+  void write_block_row(u64 r, const R* src) const {
+    std::vector<WriteReq> reqs;
+    reqs.reserve(static_cast<usize>(block_cols_));
+    for (u64 c = 0; c < block_cols_; ++c) {
+      reqs.push_back(write_req(r, c, src + c * rpb_));
+    }
+    ctx_->io().write(reqs);
+  }
+
+  /// Reads block-column c (all rows) into dst, one parallel batch.
+  void read_block_col(u64 c, R* dst) const {
+    std::vector<ReadReq> reqs;
+    reqs.reserve(static_cast<usize>(block_rows_));
+    for (u64 r = 0; r < block_rows_; ++r) {
+      reqs.push_back(read_req(r, c, dst + r * rpb_));
+    }
+    ctx_->io().read(reqs);
+  }
+
+  void write_block_col(u64 c, const R* src) const {
+    std::vector<WriteReq> reqs;
+    reqs.reserve(static_cast<usize>(block_rows_));
+    for (u64 r = 0; r < block_rows_; ++r) {
+      reqs.push_back(write_req(r, c, src + r * rpb_));
+    }
+    ctx_->io().write(reqs);
+  }
+
+ private:
+  usize idx(u64 r, u64 c) const {
+    PDM_CHECK(r < block_rows_ && c < block_cols_, "matrix cell out of range");
+    return static_cast<usize>(r * block_cols_ + c);
+  }
+
+  PdmContext* ctx_;
+  u64 block_rows_;
+  u64 block_cols_;
+  usize rpb_;
+  std::vector<BlockRef> cells_;
+};
+
+}  // namespace pdm

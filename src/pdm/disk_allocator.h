@@ -1,0 +1,40 @@
+// Trivial bump allocator for disk blocks: each disk has a next-free-block
+// cursor. Runs allocate their blocks round-robin across disks (striping);
+// the allocator only hands out fresh indices, it never reuses space (the
+// simulator has no fragmentation concerns worth modelling).
+#pragma once
+
+#include <vector>
+
+#include "pdm/block.h"
+#include "util/common.h"
+
+namespace pdm {
+
+class DiskAllocator {
+ public:
+  explicit DiskAllocator(u32 num_disks);
+
+  u32 num_disks() const noexcept { return static_cast<u32>(next_.size()); }
+
+  /// Allocates one fresh block on `disk`.
+  BlockRef alloc(u32 disk);
+
+  /// Allocates `count` consecutive blocks on `disk`; returns the first.
+  BlockRef alloc_contiguous(u32 disk, u64 count);
+
+  /// Blocks allocated so far on `disk`.
+  u64 used(u32 disk) const;
+
+  /// Total blocks allocated across all disks.
+  u64 total_used() const;
+
+  /// Forgets all allocations (the backing store is not cleared; stale reads
+  /// of reused blocks will read old bytes, as on a real disk).
+  void reset();
+
+ private:
+  std::vector<u64> next_;
+};
+
+}  // namespace pdm

@@ -1,0 +1,97 @@
+#include "pdm/file_backend.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "util/thread_pool.h"
+
+namespace pdm {
+
+namespace fs = std::filesystem;
+
+FileDiskBackend::FileDiskBackend(u32 num_disks, usize block_bytes,
+                                 std::string dir, bool keep_files)
+    : num_disks_(num_disks),
+      block_bytes_(block_bytes),
+      dir_(std::move(dir)),
+      keep_files_(keep_files),
+      blocks_written_(num_disks, 0) {
+  PDM_CHECK(num_disks > 0, "need at least one disk");
+  fs::create_directories(dir_);
+  fds_.reserve(num_disks);
+  for (u32 d = 0; d < num_disks; ++d) {
+    char name[32];
+    std::snprintf(name, sizeof name, "disk%03u.bin", d);
+    const std::string path = dir_ + "/" + name;
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    PDM_CHECK(fd >= 0, "open failed for " + path + ": " + std::strerror(errno));
+    fds_.push_back(fd);
+  }
+}
+
+FileDiskBackend::~FileDiskBackend() {
+  for (u32 d = 0; d < num_disks_; ++d) {
+    if (fds_[d] >= 0) ::close(fds_[d]);
+    if (!keep_files_) {
+      char name[32];
+      std::snprintf(name, sizeof name, "disk%03u.bin", d);
+      std::error_code ec;
+      fs::remove(dir_ + "/" + name, ec);
+    }
+  }
+}
+
+void FileDiskBackend::read_batch(std::span<const ReadReq> reqs) {
+  auto& pool = ThreadPool::global();
+  if (reqs.size() <= 1) {
+    for (const auto& r : reqs) {
+      const auto off =
+          static_cast<off_t>(r.where.index) * static_cast<off_t>(block_bytes_);
+      ssize_t n = ::pread(fds_.at(r.where.disk), r.dst, block_bytes_, off);
+      PDM_CHECK(n == static_cast<ssize_t>(block_bytes_), "pread short/failed");
+    }
+    return;
+  }
+  pool.parallel_for(0, reqs.size(), [&](usize lo, usize hi) {
+    for (usize i = lo; i < hi; ++i) {
+      const auto& r = reqs[i];
+      const auto off =
+          static_cast<off_t>(r.where.index) * static_cast<off_t>(block_bytes_);
+      ssize_t n = ::pread(fds_.at(r.where.disk), r.dst, block_bytes_, off);
+      PDM_CHECK(n == static_cast<ssize_t>(block_bytes_), "pread short/failed");
+    }
+  });
+}
+
+void FileDiskBackend::write_batch(std::span<const WriteReq> reqs) {
+  auto& pool = ThreadPool::global();
+  auto do_write = [&](const WriteReq& w) {
+    const auto off =
+        static_cast<off_t>(w.where.index) * static_cast<off_t>(block_bytes_);
+    ssize_t n = ::pwrite(fds_.at(w.where.disk), w.src, block_bytes_, off);
+    PDM_CHECK(n == static_cast<ssize_t>(block_bytes_), "pwrite short/failed");
+  };
+  if (reqs.size() <= 1) {
+    for (const auto& w : reqs) do_write(w);
+  } else {
+    pool.parallel_for(0, reqs.size(), [&](usize lo, usize hi) {
+      for (usize i = lo; i < hi; ++i) do_write(reqs[i]);
+    });
+  }
+  for (const auto& w : reqs) {
+    blocks_written_[w.where.disk] =
+        std::max(blocks_written_[w.where.disk], w.where.index + 1);
+  }
+}
+
+u64 FileDiskBackend::disk_blocks(u32 disk) const {
+  PDM_CHECK(disk < num_disks_, "disk out of range");
+  return blocks_written_[disk];
+}
+
+}  // namespace pdm

@@ -1,0 +1,41 @@
+// File-backed disk array: one file per simulated disk, I/O issued with
+// pread/pwrite concurrently from the global thread pool so a parallel I/O
+// operation really does hit all D "disks" at once.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdm/disk_backend.h"
+
+namespace pdm {
+
+class FileDiskBackend final : public DiskBackend {
+ public:
+  /// Creates (or truncates) `num_disks` files named disk000.bin.. in `dir`.
+  /// The directory is created if missing; files are removed on destruction
+  /// unless keep_files is true.
+  FileDiskBackend(u32 num_disks, usize block_bytes, std::string dir,
+                  bool keep_files = false);
+  ~FileDiskBackend() override;
+
+  FileDiskBackend(const FileDiskBackend&) = delete;
+  FileDiskBackend& operator=(const FileDiskBackend&) = delete;
+
+  u32 num_disks() const noexcept override { return num_disks_; }
+  usize block_bytes() const noexcept override { return block_bytes_; }
+
+  void read_batch(std::span<const ReadReq> reqs) override;
+  void write_batch(std::span<const WriteReq> reqs) override;
+  u64 disk_blocks(u32 disk) const override;
+
+ private:
+  u32 num_disks_;
+  usize block_bytes_;
+  std::string dir_;
+  bool keep_files_;
+  std::vector<int> fds_;
+  std::vector<u64> blocks_written_;  // high-water mark per disk
+};
+
+}  // namespace pdm

@@ -1,0 +1,76 @@
+#include "pdm/io_scheduler.h"
+
+#include <functional>
+#include <vector>
+
+namespace pdm {
+
+IoScheduler::IoScheduler(DiskBackend& backend, CostModel cost)
+    : backend_(&backend), cost_(cost) {
+  stats_.reset(backend_->num_disks());
+}
+
+namespace {
+
+// Builds per-disk FIFO queues and executes round t = the t-th request of
+// every non-empty queue, until all queues drain. Returns the round count.
+template <class Req>
+u64 run_rounds(std::span<const Req> reqs, u32 num_disks,
+               const std::function<void(std::span<const Req>)>& exec) {
+  static thread_local std::vector<Req> round_buf;
+  static thread_local std::vector<std::vector<u32>> queues;
+  if (queues.size() < num_disks) queues.resize(num_disks);
+  for (auto& q : queues) q.clear();
+  for (usize i = 0; i < reqs.size(); ++i) {
+    queues[reqs[i].where.disk].push_back(static_cast<u32>(i));
+  }
+  u64 rounds = 0;
+  for (usize t = 0;; ++t) {
+    round_buf.clear();
+    for (u32 d = 0; d < num_disks; ++d) {
+      if (t < queues[d].size()) round_buf.push_back(reqs[queues[d][t]]);
+    }
+    if (round_buf.empty()) break;
+    exec(std::span<const Req>(round_buf));
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace
+
+u64 IoScheduler::read(std::span<const ReadReq> reqs) {
+  if (reqs.empty()) return 0;
+  for (const auto& r : reqs) {
+    PDM_CHECK(r.where.disk < backend_->num_disks(), "read: bad disk");
+    stats_.hash_request(r.where.disk, r.where.index, /*is_write=*/false);
+    ++stats_.disk_reads[r.where.disk];
+  }
+  const u64 rounds = run_rounds<ReadReq>(
+      reqs, backend_->num_disks(),
+      [this](std::span<const ReadReq> round) { backend_->read_batch(round); });
+  stats_.read_ops += rounds;
+  stats_.blocks_read += reqs.size();
+  stats_.sim_time_s +=
+      static_cast<double>(rounds) * cost_.round_cost(backend_->block_bytes());
+  return rounds;
+}
+
+u64 IoScheduler::write(std::span<const WriteReq> reqs) {
+  if (reqs.empty()) return 0;
+  for (const auto& w : reqs) {
+    PDM_CHECK(w.where.disk < backend_->num_disks(), "write: bad disk");
+    stats_.hash_request(w.where.disk, w.where.index, /*is_write=*/true);
+    ++stats_.disk_writes[w.where.disk];
+  }
+  const u64 rounds = run_rounds<WriteReq>(
+      reqs, backend_->num_disks(),
+      [this](std::span<const WriteReq> round) { backend_->write_batch(round); });
+  stats_.write_ops += rounds;
+  stats_.blocks_written += reqs.size();
+  stats_.sim_time_s +=
+      static_cast<double>(rounds) * cost_.round_cost(backend_->block_bytes());
+  return rounds;
+}
+
+}  // namespace pdm

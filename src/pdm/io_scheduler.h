@@ -1,0 +1,43 @@
+// Groups arbitrary block-request vectors into parallel I/O operations.
+//
+// Batching rule: requests are queued per disk in arrival order; round t
+// executes the t-th request of every non-empty queue. Thus one call with
+// `n` requests costs max_d(load on disk d) parallel operations — an
+// algorithm only achieves one-op-per-D-blocks if its *layout* spreads each
+// batch evenly over the disks. This is exactly the accounting the paper
+// uses when it credits oblivious algorithms with guaranteed parallelism.
+#pragma once
+
+#include <span>
+
+#include "pdm/disk_backend.h"
+#include "pdm/io_stats.h"
+
+namespace pdm {
+
+class IoScheduler {
+ public:
+  explicit IoScheduler(DiskBackend& backend, CostModel cost = {});
+
+  /// Executes all reads; returns the number of parallel operations used.
+  u64 read(std::span<const ReadReq> reqs);
+
+  /// Executes all writes; returns the number of parallel operations used.
+  u64 write(std::span<const WriteReq> reqs);
+
+  IoStats& stats() noexcept { return stats_; }
+  const IoStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_.reset(backend_->num_disks()); }
+
+  const CostModel& cost() const noexcept { return cost_; }
+  void set_cost(CostModel c) { cost_ = c; }
+
+  DiskBackend& backend() noexcept { return *backend_; }
+
+ private:
+  DiskBackend* backend_;
+  CostModel cost_;
+  IoStats stats_;
+};
+
+}  // namespace pdm

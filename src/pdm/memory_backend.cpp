@@ -1,0 +1,47 @@
+#include "pdm/memory_backend.h"
+
+#include <cstring>
+
+namespace pdm {
+
+MemoryDiskBackend::MemoryDiskBackend(u32 num_disks, usize block_bytes)
+    : num_disks_(num_disks), block_bytes_(block_bytes), disks_(num_disks) {
+  PDM_CHECK(num_disks > 0, "need at least one disk");
+  PDM_CHECK(block_bytes > 0, "block_bytes must be positive");
+}
+
+void MemoryDiskBackend::read_batch(std::span<const ReadReq> reqs) {
+  for (const auto& r : reqs) {
+    PDM_CHECK(r.where.disk < num_disks_, "read: disk out of range");
+    const auto& d = disks_[r.where.disk];
+    const usize off = static_cast<usize>(r.where.index) * block_bytes_;
+    PDM_CHECK(off + block_bytes_ <= d.size(),
+              "read of unwritten block (disk " +
+                  std::to_string(r.where.disk) + ", block " +
+                  std::to_string(r.where.index) + ")");
+    std::memcpy(r.dst, d.data() + off, block_bytes_);
+  }
+}
+
+void MemoryDiskBackend::write_batch(std::span<const WriteReq> reqs) {
+  for (const auto& w : reqs) {
+    PDM_CHECK(w.where.disk < num_disks_, "write: disk out of range");
+    auto& d = disks_[w.where.disk];
+    const usize off = static_cast<usize>(w.where.index) * block_bytes_;
+    if (off + block_bytes_ > d.size()) d.resize(off + block_bytes_);
+    std::memcpy(d.data() + off, w.src, block_bytes_);
+  }
+}
+
+u64 MemoryDiskBackend::disk_blocks(u32 disk) const {
+  PDM_CHECK(disk < num_disks_, "disk out of range");
+  return disks_[disk].size() / block_bytes_;
+}
+
+usize MemoryDiskBackend::resident_bytes() const {
+  usize total = 0;
+  for (const auto& d : disks_) total += d.size();
+  return total;
+}
+
+}  // namespace pdm

@@ -1,0 +1,33 @@
+// In-memory disk array: the default backend for tests and model-level
+// benches. Reads of never-written blocks throw, which catches allocator and
+// layout bugs early.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pdm/disk_backend.h"
+
+namespace pdm {
+
+class MemoryDiskBackend final : public DiskBackend {
+ public:
+  MemoryDiskBackend(u32 num_disks, usize block_bytes);
+
+  u32 num_disks() const noexcept override { return num_disks_; }
+  usize block_bytes() const noexcept override { return block_bytes_; }
+
+  void read_batch(std::span<const ReadReq> reqs) override;
+  void write_batch(std::span<const WriteReq> reqs) override;
+  u64 disk_blocks(u32 disk) const override;
+
+  /// Total bytes currently held across all disks (for reporting).
+  usize resident_bytes() const;
+
+ private:
+  u32 num_disks_;
+  usize block_bytes_;
+  std::vector<std::vector<std::byte>> disks_;
+};
+
+}  // namespace pdm

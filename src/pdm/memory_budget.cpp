@@ -1,0 +1,22 @@
+#include "pdm/memory_budget.h"
+
+#include <algorithm>
+#include <string>
+
+namespace pdm {
+
+void MemoryBudget::acquire(usize bytes) {
+  if (current_ + bytes > limit_) {
+    fail("memory budget exceeded: want " + std::to_string(bytes) +
+         " bytes on top of " + std::to_string(current_) + ", limit " +
+         std::to_string(limit_));
+  }
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+}
+
+void MemoryBudget::release(usize bytes) noexcept {
+  current_ = bytes > current_ ? 0 : current_ - bytes;
+}
+
+}  // namespace pdm

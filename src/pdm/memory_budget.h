@@ -1,0 +1,100 @@
+// Internal-memory accounting. The PDM gives an algorithm M records of
+// memory; real implementations need a small constant multiple for staging
+// buffers. Every sorter acquires its working buffers through a
+// MemoryBudget, the report records the peak, and DESIGN.md documents the
+// per-algorithm slack constant that the tests then enforce.
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "util/common.h"
+
+namespace pdm {
+
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(usize limit_bytes = std::numeric_limits<usize>::max())
+      : limit_(limit_bytes) {}
+
+  void set_limit(usize bytes) { limit_ = bytes; }
+  usize limit() const noexcept { return limit_; }
+
+  /// Registers an allocation; throws pdm::Error if the limit is exceeded.
+  void acquire(usize bytes);
+
+  void release(usize bytes) noexcept;
+
+  usize current() const noexcept { return current_; }
+  usize peak() const noexcept { return peak_; }
+  void reset_peak() { peak_ = current_; }
+
+ private:
+  usize limit_;
+  usize current_ = 0;
+  usize peak_ = 0;
+};
+
+/// RAII owner of a budget-tracked contiguous buffer of trivially copyable
+/// records. Move-only.
+template <class T>
+class TrackedBuffer {
+ public:
+  TrackedBuffer() = default;
+
+  TrackedBuffer(MemoryBudget& budget, usize count)
+      : budget_(&budget), data_(nullptr), size_(count) {
+    budget_->acquire(bytes());
+    data_ = new T[count]();
+  }
+
+  ~TrackedBuffer() { destroy(); }
+
+  TrackedBuffer(const TrackedBuffer&) = delete;
+  TrackedBuffer& operator=(const TrackedBuffer&) = delete;
+
+  TrackedBuffer(TrackedBuffer&& o) noexcept
+      : budget_(o.budget_), data_(o.data_), size_(o.size_) {
+    o.budget_ = nullptr;
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+
+  TrackedBuffer& operator=(TrackedBuffer&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      budget_ = o.budget_;
+      data_ = o.data_;
+      size_ = o.size_;
+      o.budget_ = nullptr;
+      o.data_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  usize size() const noexcept { return size_; }
+  usize bytes() const noexcept { return size_ * sizeof(T); }
+  T& operator[](usize i) { return data_[i]; }
+  const T& operator[](usize i) const { return data_[i]; }
+  std::span<T> span() noexcept { return {data_, size_}; }
+  std::span<const T> span() const noexcept { return {data_, size_}; }
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+
+ private:
+  void destroy() {
+    if (data_ != nullptr) {
+      delete[] data_;
+      budget_->release(bytes());
+    }
+  }
+
+  MemoryBudget* budget_ = nullptr;
+  T* data_ = nullptr;
+  usize size_ = 0;
+};
+
+}  // namespace pdm

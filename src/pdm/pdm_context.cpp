@@ -1,0 +1,31 @@
+#include "pdm/pdm_context.h"
+
+#include "pdm/file_backend.h"
+#include "pdm/memory_backend.h"
+
+namespace pdm {
+
+PdmContext::PdmContext(std::unique_ptr<DiskBackend> backend, CostModel cost,
+                       u64 seed)
+    : backend_(std::move(backend)),
+      sched_(*backend_, cost),
+      alloc_(backend_->num_disks()),
+      rng_(seed) {}
+
+std::unique_ptr<PdmContext> make_memory_context(u32 num_disks,
+                                                usize block_bytes, u64 seed) {
+  return std::make_unique<PdmContext>(
+      std::make_unique<MemoryDiskBackend>(num_disks, block_bytes), CostModel{},
+      seed);
+}
+
+std::unique_ptr<PdmContext> make_file_context(u32 num_disks, usize block_bytes,
+                                              const std::string& dir, u64 seed,
+                                              bool keep_files) {
+  return std::make_unique<PdmContext>(
+      std::make_unique<FileDiskBackend>(num_disks, block_bytes, dir,
+                                        keep_files),
+      CostModel{}, seed);
+}
+
+}  // namespace pdm

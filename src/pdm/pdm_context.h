@@ -1,0 +1,63 @@
+// PdmContext bundles everything a sorter needs: the disk array, the
+// parallel-I/O scheduler, the block allocator, the memory budget and a
+// seeded RNG. One context = one PDM machine.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pdm/disk_allocator.h"
+#include "pdm/disk_backend.h"
+#include "pdm/io_scheduler.h"
+#include "pdm/memory_budget.h"
+#include "util/rng.h"
+
+namespace pdm {
+
+class PdmContext {
+ public:
+  /// Takes ownership of the backend.
+  explicit PdmContext(std::unique_ptr<DiskBackend> backend,
+                      CostModel cost = {}, u64 seed = 1);
+
+  PdmContext(const PdmContext&) = delete;
+  PdmContext& operator=(const PdmContext&) = delete;
+
+  u32 D() const noexcept { return backend_->num_disks(); }
+  usize block_bytes() const noexcept { return backend_->block_bytes(); }
+
+  IoScheduler& io() noexcept { return sched_; }
+  const IoScheduler& io() const noexcept { return sched_; }
+  IoStats& stats() noexcept { return sched_.stats(); }
+  DiskAllocator& alloc() noexcept { return alloc_; }
+  MemoryBudget& budget() noexcept { return budget_; }
+  Rng& rng() noexcept { return rng_; }
+  DiskBackend& backend() noexcept { return *backend_; }
+
+  /// Records-per-block for a given record type.
+  template <class R>
+  usize rpb() const {
+    PDM_CHECK(block_bytes() % sizeof(R) == 0,
+              "block_bytes not a multiple of record size");
+    return block_bytes() / sizeof(R);
+  }
+
+ private:
+  std::unique_ptr<DiskBackend> backend_;
+  IoScheduler sched_;
+  DiskAllocator alloc_;
+  MemoryBudget budget_;
+  Rng rng_;
+};
+
+/// Convenience factories.
+std::unique_ptr<PdmContext> make_memory_context(u32 num_disks,
+                                                usize block_bytes,
+                                                u64 seed = 1);
+
+std::unique_ptr<PdmContext> make_file_context(u32 num_disks, usize block_bytes,
+                                              const std::string& dir,
+                                              u64 seed = 1,
+                                              bool keep_files = false);
+
+}  // namespace pdm

@@ -1,0 +1,98 @@
+// RaggedRun: a striped run whose blocks may each hold fewer than B records.
+//
+// IntegerSort (§7) writes every bucket's in-memory blocks at the end of a
+// phase, padding the final block of each bucket; the pads are what cost the
+// extra µ fraction of a pass that Theorem 7.1 accounts for. RaggedRun keeps
+// the per-block occupancy so readers can skip the padding.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "pdm/pdm_context.h"
+#include "pdm/record.h"
+
+namespace pdm {
+
+template <Record R>
+class RaggedRun {
+ public:
+  struct Segment {
+    BlockRef where;
+    u32 count = 0;  // valid records in this block
+  };
+
+  RaggedRun() = default;
+
+  explicit RaggedRun(PdmContext& ctx, u32 start_disk = 0)
+      : ctx_(&ctx), start_disk_(start_disk % ctx.D()), rpb_(ctx.rpb<R>()) {}
+
+  u64 size() const noexcept { return size_; }
+  usize rpb() const noexcept { return rpb_; }
+  u64 num_segments() const noexcept { return segs_.size(); }
+  const Segment& segment(u64 i) const { return segs_[i]; }
+
+  /// Total blocks including padding: the write-amplification measure.
+  u64 blocks_on_disk() const noexcept { return segs_.size(); }
+
+  /// Stages one block holding `count <= rpb` valid records. `block_buf`
+  /// must hold rpb records, already padded by the caller, and stay alive
+  /// until the returned request is submitted.
+  WriteReq stage_block(const R* block_buf, usize count) {
+    return stage_block_on(
+        static_cast<u32>((start_disk_ + segs_.size()) % ctx_->D()), block_buf,
+        count);
+  }
+
+  /// As stage_block but on an explicit disk: lets a writer that stages
+  /// blocks for many ragged runs at once balance the whole batch over the
+  /// disks (the distribution pass does this).
+  WriteReq stage_block_on(u32 disk, const R* block_buf, usize count) {
+    PDM_CHECK(count > 0 && count <= rpb_, "bad ragged block count");
+    BlockRef ref = ctx_->alloc().alloc(disk % ctx_->D());
+    segs_.push_back(Segment{ref, static_cast<u32>(count)});
+    size_ += count;
+    return WriteReq{ref, reinterpret_cast<const std::byte*>(block_buf)};
+  }
+
+  /// Reads segments [first, first+count) batched, compacting the valid
+  /// records to the front of dst (which must hold count*rpb records).
+  /// Returns the number of valid records.
+  usize read_segments(u64 first, u64 count, R* dst) const {
+    PDM_CHECK(first + count <= segs_.size(), "segment range out of bounds");
+    std::vector<ReadReq> reqs;
+    reqs.reserve(static_cast<usize>(count));
+    for (u64 i = 0; i < count; ++i) {
+      reqs.push_back(ReadReq{segs_[first + i].where,
+                             reinterpret_cast<std::byte*>(dst + i * rpb_)});
+    }
+    ctx_->io().read(reqs);
+    // Compact in place: segments are laid out at block granularity.
+    usize valid = 0;
+    for (u64 i = 0; i < count; ++i) {
+      const usize c = segs_[first + i].count;
+      if (valid != i * rpb_ && c > 0) {
+        std::memmove(dst + valid, dst + i * rpb_, c * sizeof(R));
+      }
+      valid += c;
+    }
+    return valid;
+  }
+
+  std::vector<R> read_all() const {
+    std::vector<R> out(segs_.size() * rpb_);
+    usize n = segs_.empty() ? 0 : read_segments(0, segs_.size(), out.data());
+    out.resize(n);
+    return out;
+  }
+
+ private:
+  PdmContext* ctx_ = nullptr;
+  std::vector<Segment> segs_;
+  u64 size_ = 0;
+  u32 start_disk_ = 0;
+  usize rpb_ = 0;
+};
+
+}  // namespace pdm

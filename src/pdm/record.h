@@ -1,0 +1,33 @@
+// Record concept and key traits.
+//
+// Sortable records must be trivially copyable (they are moved with memcpy
+// through block buffers). Integer sorting additionally needs a u64 key
+// projection, supplied via KeyTraits (specialize for custom records).
+#pragma once
+
+#include <concepts>
+#include <type_traits>
+
+#include "util/common.h"
+
+namespace pdm {
+
+template <class R>
+concept Record = std::is_trivially_copyable_v<R> && std::default_initializable<R>;
+
+/// u64 key projection used by IntegerSort / RadixSort.
+template <class R>
+struct KeyTraits;
+
+template <std::unsigned_integral R>
+struct KeyTraits<R> {
+  static constexpr u64 key(R r) noexcept { return static_cast<u64>(r); }
+};
+
+/// Extracts the radix key of a record through KeyTraits.
+template <class R>
+constexpr u64 record_key(const R& r) noexcept {
+  return KeyTraits<R>::key(r);
+}
+
+}  // namespace pdm

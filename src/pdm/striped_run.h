@@ -1,0 +1,175 @@
+// StripedRun: a logical sequence of records striped block-round-robin over
+// the disks, the standard PDM layout (Rajasekaran [23]). Block k of a run
+// that starts at disk s lives on disk (s + k) mod D, so any D consecutive
+// blocks of a run — and any batch of single blocks taken from D runs with
+// staggered start disks — occupy distinct disks and move in one parallel
+// I/O.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pdm/pdm_context.h"
+#include "pdm/record.h"
+#include "util/math_util.h"
+
+namespace pdm {
+
+template <Record R>
+class StripedRun {
+ public:
+  StripedRun() = default;
+
+  explicit StripedRun(PdmContext& ctx, u32 start_disk = 0)
+      : ctx_(&ctx), start_disk_(start_disk % ctx.D()) {
+    rpb_ = ctx.rpb<R>();
+  }
+
+  PdmContext& ctx() const { return *ctx_; }
+  u64 size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  usize rpb() const noexcept { return rpb_; }
+  u64 num_blocks() const noexcept { return blocks_.size(); }
+  u32 start_disk() const noexcept { return start_disk_; }
+
+  BlockRef block_ref(u64 i) const {
+    PDM_CHECK(i < blocks_.size(), "block index out of range");
+    return blocks_[i];
+  }
+
+  /// Logical records stored in block i (the final block may be partial).
+  usize records_in_block(u64 i) const {
+    PDM_CHECK(i < blocks_.size(), "block index out of range");
+    const u64 start = i * rpb_;
+    return static_cast<usize>(std::min<u64>(rpb_, size_ - start));
+  }
+
+  /// Allocates the next block of the stripe and returns a write request for
+  /// it. `src` must stay alive until the caller submits the request. Used
+  /// by multi-run writers that batch blocks across runs into one parallel
+  /// write. Advances the logical size by a full block.
+  WriteReq stage_append_block(const R* src) {
+    PDM_CHECK(tail_.empty(), "stage_append_block with buffered tail");
+    PDM_CHECK(!finished_, "append after finish()");
+    BlockRef ref = alloc_next_block();
+    size_ += rpb_;
+    return WriteReq{ref, reinterpret_cast<const std::byte*>(src)};
+  }
+
+  /// Appends records with write combining: completed blocks are held in
+  /// the tail buffer until at least D of them accumulate, then written in
+  /// one batched parallel operation — so even record-at-a-time appends
+  /// reach full disk parallelism. Call finish() to flush.
+  void append(std::span<const R> recs) {
+    PDM_CHECK(!finished_, "append after finish()");
+    if (recs.empty()) return;
+    size_ += recs.size();
+    const usize flush_records = flush_blocks() * rpb_;
+    // Fast path: large append with an empty tail writes directly from the
+    // caller's memory without the staging copy.
+    if (tail_.empty() && recs.size() >= flush_records) {
+      const usize full = recs.size() / rpb_;
+      std::vector<WriteReq> reqs;
+      reqs.reserve(full);
+      for (usize b = 0; b < full; ++b) {
+        reqs.push_back(WriteReq{
+            alloc_next_block(),
+            reinterpret_cast<const std::byte*>(recs.data() + b * rpb_)});
+      }
+      ctx_->io().write(reqs);
+      tail_.assign(recs.begin() + static_cast<std::ptrdiff_t>(full * rpb_),
+                   recs.end());
+      return;
+    }
+    tail_.insert(tail_.end(), recs.begin(), recs.end());
+    if (tail_.size() >= flush_records) flush_full_blocks();
+  }
+
+  /// Flushes any buffered blocks plus a zero-padded partial tail block
+  /// (the logical size excludes the padding). Idempotent.
+  void finish() {
+    if (finished_) return;
+    if (tail_.size() >= rpb_) flush_full_blocks();
+    finished_ = true;
+    if (tail_.empty()) return;
+    tail_.resize(rpb_, R{});
+    WriteReq req{alloc_next_block(),
+                 reinterpret_cast<const std::byte*>(tail_.data())};
+    ctx_->io().write(std::span<const WriteReq>(&req, 1));
+    tail_.clear();
+  }
+
+  /// Read request for block i into caller memory (rpb records of space).
+  ReadReq read_req(u64 i, R* dst) const {
+    return ReadReq{block_ref(i), reinterpret_cast<std::byte*>(dst)};
+  }
+
+  /// Reads `count` consecutive blocks starting at `first` into dst (which
+  /// must hold count*rpb records) with one batched parallel read.
+  void read_blocks(u64 first, u64 count, R* dst) const {
+    PDM_CHECK(first + count <= blocks_.size(), "read_blocks out of range");
+    std::vector<ReadReq> reqs;
+    reqs.reserve(static_cast<usize>(count));
+    for (u64 b = 0; b < count; ++b) {
+      reqs.push_back(read_req(first + b, dst + b * rpb_));
+    }
+    ctx_->io().read(reqs);
+  }
+
+  /// Reads the entire run (convenience for tests; counts I/O normally).
+  std::vector<R> read_all() const {
+    PDM_CHECK(tail_.empty(), "read_all before finish(): tail not flushed");
+    std::vector<R> out(blocks_.size() * rpb_);
+    if (!blocks_.empty()) read_blocks(0, blocks_.size(), out.data());
+    out.resize(static_cast<usize>(size_));
+    return out;
+  }
+
+ private:
+  usize flush_blocks() const { return std::max<usize>(1, ctx_->D()); }
+
+  void flush_full_blocks() {
+    const usize full = tail_.size() / rpb_;
+    if (full == 0) return;
+    std::vector<WriteReq> reqs;
+    reqs.reserve(full);
+    for (usize b = 0; b < full; ++b) {
+      reqs.push_back(WriteReq{
+          alloc_next_block(),
+          reinterpret_cast<const std::byte*>(tail_.data() + b * rpb_)});
+    }
+    ctx_->io().write(reqs);
+    tail_.erase(tail_.begin(),
+                tail_.begin() + static_cast<std::ptrdiff_t>(full * rpb_));
+  }
+
+  BlockRef alloc_next_block() {
+    const u32 disk =
+        static_cast<u32>((start_disk_ + blocks_.size()) % ctx_->D());
+    BlockRef ref = ctx_->alloc().alloc(disk);
+    blocks_.push_back(ref);
+    return ref;
+  }
+
+  PdmContext* ctx_ = nullptr;
+  std::vector<BlockRef> blocks_;
+  std::vector<R> tail_;
+  u64 size_ = 0;
+  usize rpb_ = 0;
+  u32 start_disk_ = 0;
+  bool finished_ = false;
+};
+
+/// Writes in-memory data as a striped run. Used to stage experiment inputs;
+/// callers that do not want the staging I/O charged to the algorithm should
+/// reset the context stats afterwards.
+template <Record R>
+StripedRun<R> write_input_run(PdmContext& ctx, std::span<const R> data,
+                              u32 start_disk = 0) {
+  StripedRun<R> run(ctx, start_disk);
+  run.append(data);
+  run.finish();
+  return run;
+}
+
+}  // namespace pdm

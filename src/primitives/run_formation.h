@@ -1,0 +1,142 @@
+// Sorted-run formation: one pass that reads memory-loads of the input,
+// sorts them, and writes them back as striped runs — optionally unshuffled
+// on the way out (each sorted run split stride-m into m part-runs), which
+// is how ThreePass2 folds LMM's unshuffle step into the run-formation pass
+// (paper §4, step 2: "this unshuffling can be combined with the initial
+// runs formation task").
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "internal/insort.h"
+#include "pdm/memory_budget.h"
+#include "pdm/striped_run.h"
+#include "util/math_util.h"
+
+namespace pdm {
+
+struct RunFormationOptions {
+  u64 run_len = 0;          // records per run (<= M, multiple of B)
+  u32 unshuffle_parts = 1;  // m; run_len must be a multiple of m*B when m>1
+  u64 first_record = 0;     // block-aligned start of the input range
+  u64 num_records = 0;      // 0 = to the end of the input
+  ThreadPool* pool = nullptr;         // parallel internal sort
+  bool parallel_scratch = false;      // allocate scratch for the pool path
+};
+
+/// parts[i][j] = part j of sorted run i (stride-m decimation, itself
+/// sorted). With unshuffle_parts == 1 each inner vector has one entry: the
+/// whole sorted run. Part (i, j) starts on disk (i + j) mod D so that the
+/// later group-merge pass, which reads part j of every run together,
+/// touches all disks.
+template <Record R>
+using FormedRuns = std::vector<std::vector<StripedRun<R>>>;
+
+/// Start-disk stride for flat (unsplit) runs: run i starts on disk
+/// (i * stride) mod D. Odd, so the map is a bijection for power-of-two D.
+/// Exposed so adversarial generators can target the layout.
+inline u32 flat_run_start_stride(u32 num_disks) {
+  return num_disks >= 4 ? num_disks / 2 + 1 : 1;
+}
+
+template <Record R, class Cmp = std::less<R>>
+FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
+                               const RunFormationOptions& opt, Cmp cmp = {}) {
+  const usize rpb = ctx.rpb<R>();
+  const u64 run_len = opt.run_len;
+  const u32 m = opt.unshuffle_parts;
+  PDM_CHECK(run_len > 0 && run_len % rpb == 0,
+            "run_len must be a positive multiple of B");
+  if (m > 1) {
+    PDM_CHECK(run_len % (static_cast<u64>(m) * rpb) == 0,
+              "run_len must be a multiple of m*B for unshuffled output");
+  }
+  PDM_CHECK(opt.first_record % rpb == 0, "range start must be block aligned");
+  PDM_CHECK(opt.first_record <= input.size(), "range start out of bounds");
+  const u64 n = opt.num_records == 0 ? input.size() - opt.first_record
+                                     : opt.num_records;
+  PDM_CHECK(opt.first_record + n <= input.size(), "range end out of bounds");
+  PDM_CHECK(n > 0, "empty input");
+  const u64 num_runs = ceil_div(n, run_len);
+  const u64 blocks_per_run = run_len / rpb;
+
+  TrackedBuffer<R> load(ctx.budget(), static_cast<usize>(run_len));
+  TrackedBuffer<R> scratch;
+  const bool parallel = opt.pool != nullptr && opt.parallel_scratch;
+  if (parallel) scratch = TrackedBuffer<R>(ctx.budget(), load.size());
+  TrackedBuffer<R> parts_buf;
+  if (m > 1) parts_buf = TrackedBuffer<R>(ctx.budget(), load.size());
+
+  FormedRuns<R> out;
+  out.reserve(static_cast<usize>(num_runs));
+
+  for (u64 i = 0; i < num_runs; ++i) {
+    const u64 rec0 = opt.first_record + i * run_len;
+    const u64 nrec = std::min<u64>(run_len, opt.first_record + n - rec0);
+    const u64 b0 = rec0 / rpb;
+    const u64 nblocks = ceil_div(nrec, rpb);
+    input.read_blocks(b0, nblocks, load.data());
+    internal_sort(std::span<R>(load.data(), static_cast<usize>(nrec)), cmp,
+                  parallel ? opt.pool : nullptr,
+                  parallel ? scratch.span() : std::span<R>{});
+
+    std::vector<StripedRun<R>>& runs_i = out.emplace_back();
+    if (m == 1) {
+      // Staggered start disks: an odd stride makes i -> start_disk a
+      // bijection mod D (D is a power of two in the standard geometry),
+      // so a cleanup chunk that reads a few blocks from every run spreads
+      // evenly even when the run count does not divide M/B.
+      const u32 stride = flat_run_start_stride(ctx.D());
+      runs_i.emplace_back(ctx, static_cast<u32>((i * stride) % ctx.D()));
+      runs_i[0].append(std::span<const R>(load.data(),
+                                          static_cast<usize>(nrec)));
+      runs_i[0].finish();
+      continue;
+    }
+    PDM_CHECK(nrec == run_len,
+              "ragged final run not supported with unshuffled output");
+    // Gather the m stride-m decimations, then write every part in one
+    // batched operation: part j, block b covers part positions
+    // [b*B, (b+1)*B), i.e. source indices (b*B + t)*m + j.
+    const u64 p_len = run_len / m;
+    for (u64 j = 0; j < m; ++j) {
+      R* dst = parts_buf.data() + j * p_len;
+      const R* src = load.data();
+      for (u64 t = 0; t < p_len; ++t) dst[t] = src[t * m + j];
+    }
+    runs_i.reserve(m);
+    std::vector<WriteReq> reqs;
+    reqs.reserve(static_cast<usize>(m * (p_len / rpb)));
+    for (u64 j = 0; j < m; ++j) {
+      runs_i.emplace_back(ctx, static_cast<u32>((i + j) % ctx.D()));
+    }
+    for (u64 b = 0; b < p_len / rpb; ++b) {
+      for (u64 j = 0; j < m; ++j) {
+        reqs.push_back(runs_i[static_cast<usize>(j)].stage_append_block(
+            parts_buf.data() + j * p_len + b * rpb));
+      }
+    }
+    ctx.io().write(reqs);
+    for (auto& part : runs_i) part.finish();
+    (void)blocks_per_run;
+  }
+  return out;
+}
+
+/// Convenience for the unshuffle_parts == 1 case: flat run list.
+template <Record R, class Cmp = std::less<R>>
+std::vector<StripedRun<R>> form_runs_flat(PdmContext& ctx,
+                                          const StripedRun<R>& input,
+                                          const RunFormationOptions& opt,
+                                          Cmp cmp = {}) {
+  PDM_CHECK(opt.unshuffle_parts == 1, "use form_sorted_runs for parts");
+  auto formed = form_sorted_runs<R>(ctx, input, opt, cmp);
+  std::vector<StripedRun<R>> flat;
+  flat.reserve(formed.size());
+  for (auto& f : formed) flat.push_back(std::move(f[0]));
+  return flat;
+}
+
+}  // namespace pdm

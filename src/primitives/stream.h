@@ -1,0 +1,234 @@
+// Streaming abstractions shared by the out-of-core passes.
+//
+// A ChunkSource delivers the next chunk of records of a pass's input
+// (reading whole blocks with batched parallel I/O); a Sink receives the
+// pass's sorted output stream. Concrete sources: ShuffleChunkSource (reads
+// round-robin from m striped runs — the "shuffle" of LMM sort without the
+// physical interleave, which the subsequent window sort makes redundant)
+// and MatrixBandSource (reads row-bands of a BlockMatrix, for the mesh
+// algorithm). Concrete sinks: RunSink (plain striped output) and
+// UnshuffleSink (splits the stream stride-m into m part-runs, the
+// "unshuffle folded into the write" trick of §6.1 step 2).
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pdm/block_matrix.h"
+#include "pdm/memory_budget.h"
+#include "pdm/striped_run.h"
+#include "util/math_util.h"
+
+namespace pdm {
+
+template <Record R>
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+
+  /// Fills dst with the next chunk; returns the number of valid records
+  /// (0 when exhausted). `capacity` is the size of dst in records and must
+  /// be at least chunk_records().
+  virtual usize next_chunk(R* dst, usize capacity) = 0;
+
+  /// Nominal records per chunk (the final chunk may be smaller).
+  virtual usize chunk_records() const = 0;
+
+  virtual bool exhausted() const = 0;
+
+  /// Total records this source will deliver.
+  virtual u64 total_records() const = 0;
+};
+
+template <Record R>
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void push(std::span<const R> recs) = 0;
+  virtual void close() = 0;
+};
+
+/// Reads one logical stripe of blocks per chunk from each of m runs:
+/// chunk t consists of blocks [t*k, (t+1)*k) of every run, where
+/// k = chunk_records / (m * B). Sorting each chunk afterwards makes the
+/// physical shuffle order irrelevant, so blocks are delivered run-major.
+template <Record R>
+class ShuffleChunkSource final : public ChunkSource<R> {
+ public:
+  ShuffleChunkSource(PdmContext& ctx, std::span<const StripedRun<R>> runs,
+                     u64 chunk_records)
+      : ctx_(&ctx), runs_(runs), rpb_(ctx.rpb<R>()) {
+    PDM_CHECK(!runs.empty(), "no runs to shuffle");
+    const u64 m = runs.size();
+    PDM_CHECK(chunk_records % (m * rpb_) == 0,
+              "chunk must be a multiple of m*B records");
+    blocks_per_run_ = chunk_records / (m * rpb_);
+    chunk_records_ = static_cast<usize>(chunk_records);
+    cursors_.assign(runs.size(), 0);
+    for (const auto& r : runs_) total_ += r.size();
+  }
+
+  usize chunk_records() const override { return chunk_records_; }
+  u64 total_records() const override { return total_; }
+  bool exhausted() const override {
+    for (usize j = 0; j < runs_.size(); ++j) {
+      if (cursors_[j] < runs_[j].num_blocks()) return false;
+    }
+    return true;
+  }
+
+  usize next_chunk(R* dst, usize capacity) override {
+    PDM_CHECK(capacity >= chunk_records_, "chunk capacity too small");
+    std::vector<ReadReq> reqs;
+    std::vector<usize> valid;  // records per staged block, in order
+    usize pos = 0;
+    for (usize j = 0; j < runs_.size(); ++j) {
+      const auto& run = runs_[j];
+      for (u64 b = 0; b < blocks_per_run_; ++b) {
+        if (cursors_[j] >= run.num_blocks()) break;
+        reqs.push_back(run.read_req(cursors_[j], dst + pos));
+        valid.push_back(run.records_in_block(cursors_[j]));
+        pos += rpb_;
+        ++cursors_[j];
+      }
+    }
+    if (reqs.empty()) return 0;
+    ctx_->io().read(reqs);
+    // Compact away padding from partial tail blocks.
+    usize out = 0;
+    for (usize i = 0; i < valid.size(); ++i) {
+      if (out != i * rpb_ && valid[i] > 0) {
+        std::memmove(dst + out, dst + i * rpb_, valid[i] * sizeof(R));
+      }
+      out += valid[i];
+    }
+    return out;
+  }
+
+ private:
+  PdmContext* ctx_;
+  std::span<const StripedRun<R>> runs_;
+  usize rpb_;
+  u64 blocks_per_run_ = 0;
+  usize chunk_records_ = 0;
+  std::vector<u64> cursors_;
+  u64 total_ = 0;
+};
+
+/// Delivers the row-bands of a BlockMatrix: chunk k = block-row k (the k-th
+/// band of the mesh, all columns). The in-chunk order is column-segment
+/// major, which is fine because the consumer sorts each window anyway.
+template <Record R>
+class MatrixBandSource final : public ChunkSource<R> {
+ public:
+  explicit MatrixBandSource(BlockMatrix<R>& mat) : mat_(&mat) {}
+
+  usize chunk_records() const override {
+    return static_cast<usize>(mat_->block_cols() * mat_->rpb());
+  }
+  u64 total_records() const override { return mat_->records(); }
+  bool exhausted() const override { return next_row_ >= mat_->block_rows(); }
+
+  usize next_chunk(R* dst, usize capacity) override {
+    if (exhausted()) return 0;
+    PDM_CHECK(capacity >= chunk_records(), "chunk capacity too small");
+    mat_->read_block_row(next_row_, dst);
+    ++next_row_;
+    return chunk_records();
+  }
+
+ private:
+  BlockMatrix<R>* mat_;
+  u64 next_row_ = 0;
+};
+
+/// Plain striped-run sink.
+template <Record R>
+class RunSink final : public Sink<R> {
+ public:
+  explicit RunSink(StripedRun<R>& run) : run_(&run) {}
+
+  void push(std::span<const R> recs) override { run_->append(recs); }
+  void close() override { run_->finish(); }
+
+ private:
+  StripedRun<R>* run_;
+};
+
+/// Splits the incoming sorted stream stride-m into m part-runs: record t
+/// goes to part (t mod m). Blocks of all m parts fill in lockstep, so the
+/// sink flushes m blocks in one parallel write — the unshuffle costs no
+/// extra pass, exactly as the paper folds §6.1 step 2 into step 1.
+template <Record R>
+class UnshuffleSink final : public Sink<R> {
+ public:
+  UnshuffleSink(PdmContext& ctx, std::span<StripedRun<R>> parts)
+      : ctx_(&ctx),
+        parts_(parts),
+        rpb_(ctx.rpb<R>()),
+        staging_(ctx.budget(), parts.size() * ctx.rpb<R>()),
+        fill_(parts.size(), 0) {}
+
+  void push(std::span<const R> recs) override {
+    const usize m = parts_.size();
+    for (const auto& r : recs) {
+      const usize part = static_cast<usize>(t_ % m);
+      staging_[part * rpb_ + fill_[part]] = r;
+      ++fill_[part];
+      ++t_;
+      if (part == m - 1 && fill_[part] == rpb_) flush_full();
+    }
+  }
+
+  void close() override {
+    // Flush any partial part buffers (only happens when the total stream
+    // length is not a multiple of m*B).
+    for (usize p = 0; p < parts_.size(); ++p) {
+      if (fill_[p] > 0) {
+        parts_[p].append(std::span<const R>(&staging_[p * rpb_], fill_[p]));
+        fill_[p] = 0;
+      }
+      parts_[p].finish();
+    }
+  }
+
+ private:
+  void flush_full() {
+    std::vector<WriteReq> reqs;
+    reqs.reserve(parts_.size());
+    for (usize p = 0; p < parts_.size(); ++p) {
+      PDM_ASSERT(fill_[p] == rpb_, "unshuffle staging out of lockstep");
+      reqs.push_back(parts_[p].stage_append_block(&staging_[p * rpb_]));
+      fill_[p] = 0;
+    }
+    ctx_->io().write(reqs);
+  }
+
+  PdmContext* ctx_;
+  std::span<StripedRun<R>> parts_;
+  usize rpb_;
+  TrackedBuffer<R> staging_;
+  std::vector<usize> fill_;
+  u64 t_ = 0;
+};
+
+/// Sink adapter that counts records and forwards (for tests/telemetry).
+template <Record R>
+class CountingSink final : public Sink<R> {
+ public:
+  explicit CountingSink(Sink<R>& inner) : inner_(&inner) {}
+  void push(std::span<const R> recs) override {
+    count_ += recs.size();
+    inner_->push(recs);
+  }
+  void close() override { inner_->close(); }
+  u64 count() const { return count_; }
+
+ private:
+  Sink<R>* inner_;
+  u64 count_ = 0;
+};
+
+}  // namespace pdm

@@ -1,0 +1,192 @@
+#include "theory/network.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+
+namespace pdm::theory {
+
+void BlockSortNetwork::add_comparator(u32 a, u32 b) {
+  PDM_CHECK(a < n_ && b < n_ && a != b, "bad comparator");
+  ops_.push_back(SortOp{{a, b}, false});
+}
+
+void BlockSortNetwork::add_sort(std::vector<u32> idx, bool descending) {
+  for (u32 i : idx) PDM_CHECK(i < n_, "sort op index out of range");
+  ops_.push_back(SortOp{std::move(idx), descending});
+}
+
+BlockSortNetwork BlockSortNetwork::truncated(usize keep) const {
+  BlockSortNetwork t(n_);
+  t.ops_.assign(ops_.begin(),
+                ops_.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min(keep, ops_.size())));
+  return t;
+}
+
+namespace {
+
+// Batcher odd-even merge of two sorted halves within idx range [lo, lo+n)
+// with stride r (classic recursive construction).
+void oe_merge(BlockSortNetwork& net, u32 lo, u32 n, u32 r) {
+  const u32 step = r * 2;
+  if (step < n) {
+    oe_merge(net, lo, n, step);
+    oe_merge(net, lo + r, n, step);
+    for (u32 i = lo + r; i + r < lo + n; i += step) {
+      net.add_comparator(i, i + r);
+    }
+  } else {
+    net.add_comparator(lo, lo + r);
+  }
+}
+
+void oe_sort(BlockSortNetwork& net, u32 lo, u32 n) {
+  if (n > 1) {
+    const u32 m = n / 2;
+    oe_sort(net, lo, m);
+    oe_sort(net, lo + m, m);
+    oe_merge(net, lo, n, 1);
+  }
+}
+
+void bitonic_merge(u32 lo, u32 n, bool dir,
+                   std::vector<std::pair<std::pair<u32, u32>, bool>>& cmps) {
+  if (n > 1) {
+    const u32 m = n / 2;
+    for (u32 i = lo; i < lo + m; ++i) {
+      cmps.push_back({{i, i + m}, dir});
+    }
+    bitonic_merge(lo, m, dir, cmps);
+    bitonic_merge(lo + m, m, dir, cmps);
+  }
+}
+
+void bitonic_build(u32 lo, u32 n, bool dir,
+                   std::vector<std::pair<std::pair<u32, u32>, bool>>& cmps) {
+  if (n > 1) {
+    const u32 m = n / 2;
+    bitonic_build(lo, m, true, cmps);
+    bitonic_build(lo + m, m, false, cmps);
+    bitonic_merge(lo, n, dir, cmps);
+  }
+}
+
+}  // namespace
+
+BlockSortNetwork batcher_sort(u32 n) {
+  PDM_CHECK(is_pow2(n), "batcher_sort needs a power of two");
+  BlockSortNetwork net(n);
+  oe_sort(net, 0, n);
+  return net;
+}
+
+BlockSortNetwork bitonic_sort(u32 n) {
+  PDM_CHECK(is_pow2(n), "bitonic_sort needs a power of two");
+  BlockSortNetwork net(n);
+  std::vector<std::pair<std::pair<u32, u32>, bool>> cmps;
+  bitonic_build(0, n, true, cmps);
+  for (const auto& [pair, ascending] : cmps) {
+    if (ascending) {
+      net.add_comparator(pair.first, pair.second);
+    } else {
+      net.add_sort({pair.first, pair.second}, /*descending=*/true);
+    }
+  }
+  return net;
+}
+
+BlockSortNetwork odd_even_transposition(u32 n, u32 rounds) {
+  BlockSortNetwork net(n);
+  for (u32 r = 0; r < rounds; ++r) {
+    for (u32 i = (r % 2); i + 1 < n; i += 2) {
+      net.add_comparator(i, i + 1);
+    }
+  }
+  return net;
+}
+
+std::vector<u32> snake_order(u32 rows, u32 cols) {
+  std::vector<u32> order;
+  order.reserve(static_cast<usize>(rows) * cols);
+  for (u32 r = 0; r < rows; ++r) {
+    if (r % 2 == 0) {
+      for (u32 c = 0; c < cols; ++c) order.push_back(r * cols + c);
+    } else {
+      for (u32 c = cols; c-- > 0;) order.push_back(r * cols + c);
+    }
+  }
+  return order;
+}
+
+BlockSortNetwork columnsort_network(u32 r, u32 c) {
+  // Matrix stored column-major: position of (row i, col j) is j*r + i.
+  BlockSortNetwork net(r * c);
+  auto sort_columns = [&net, r, c] {
+    for (u32 j = 0; j < c; ++j) {
+      std::vector<u32> idx(r);
+      for (u32 i = 0; i < r; ++i) idx[i] = j * r + i;
+      net.add_sort(std::move(idx), false);
+    }
+  };
+  // Permutations are never materialized; each sort acts on the *source*
+  // positions. With network index = column-major rank k = j*r + i:
+  // transpose+reshape maps m2's row-major rank k to m1's column-major
+  // rank k, so m2's column j' (row-major ranks {i*c + j'}) is the
+  // stride-c index set {i*c + j' : i < r}; untranspose maps m3's
+  // column-major rank back to m2's row-major rank, i.e. m3's columns are
+  // the native columns again.
+  sort_columns();  // step 1
+  for (u32 j2 = 0; j2 < c; ++j2) {  // steps 2+3
+    std::vector<u32> idx;
+    idx.reserve(r);
+    for (u32 i = 0; i < r; ++i) idx.push_back(i * c + j2);
+    net.add_sort(std::move(idx), false);
+  }
+  sort_columns();  // steps 4+5
+  // Steps 6-8: shift by r/2 — sort the r-windows of the column-major
+  // order offset by r/2 (the first and last half-windows included).
+  {
+    const u32 n = r * c;
+    const u32 half = r / 2;
+    std::vector<u32> first(half);
+    for (u32 i = 0; i < half; ++i) first[i] = i;
+    net.add_sort(std::move(first), false);
+    for (u32 start = half; start < n; start += r) {
+      std::vector<u32> idx;
+      for (u32 i = start; i < std::min(n, start + r); ++i) idx.push_back(i);
+      net.add_sort(std::move(idx), false);
+    }
+  }
+  return net;
+}
+
+BlockSortNetwork shearsort(u32 rows, u32 cols, u32 iterations) {
+  BlockSortNetwork net(rows * cols);
+  for (u32 it = 0; it < iterations; ++it) {
+    // Row phase: snake directions.
+    for (u32 r = 0; r < rows; ++r) {
+      std::vector<u32> idx;
+      idx.reserve(cols);
+      for (u32 c = 0; c < cols; ++c) idx.push_back(r * cols + c);
+      net.add_sort(std::move(idx), /*descending=*/(r % 2) == 1);
+    }
+    // Column phase.
+    for (u32 c = 0; c < cols; ++c) {
+      std::vector<u32> idx;
+      idx.reserve(rows);
+      for (u32 r = 0; r < rows; ++r) idx.push_back(r * cols + c);
+      net.add_sort(std::move(idx), false);
+    }
+  }
+  // Final row phase so snake order is fully sorted.
+  for (u32 r = 0; r < rows; ++r) {
+    std::vector<u32> idx;
+    idx.reserve(cols);
+    for (u32 c = 0; c < cols; ++c) idx.push_back(r * cols + c);
+    net.add_sort(std::move(idx), /*descending=*/(r % 2) == 1);
+  }
+  return net;
+}
+
+}  // namespace pdm::theory

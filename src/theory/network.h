@@ -1,0 +1,88 @@
+// Oblivious "block-sort networks": sequences of operations that each sort
+// a fixed index set in a fixed direction. Comparators are the special case
+// of 2-element sets, so classical sorting networks embed directly; the
+// mesh algorithms' row/column sorts embed as larger ops. The 0-1 principle
+// (and our Theorem 3.3 generalization) applies to exactly this class of
+// oblivious comparison algorithms.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace pdm::theory {
+
+struct SortOp {
+  std::vector<u32> idx;     // positions to sort together
+  bool descending = false;  // direction
+};
+
+class BlockSortNetwork {
+ public:
+  explicit BlockSortNetwork(u32 n) : n_(n) {}
+
+  u32 lines() const noexcept { return n_; }
+  usize num_ops() const noexcept { return ops_.size(); }
+  const std::vector<SortOp>& ops() const noexcept { return ops_; }
+
+  void add_comparator(u32 a, u32 b);
+  void add_sort(std::vector<u32> idx, bool descending = false);
+
+  /// Applies the network to values (size n).
+  template <class T>
+  void apply(std::span<T> v) const {
+    PDM_CHECK(v.size() == n_, "network arity mismatch");
+    std::vector<T> tmp;
+    for (const auto& op : ops_) {
+      if (op.idx.size() == 2) {
+        T& a = v[op.idx[0]];
+        T& b = v[op.idx[1]];
+        const bool swap_needed = op.descending ? (a < b) : (b < a);
+        if (swap_needed) std::swap(a, b);
+        continue;
+      }
+      tmp.clear();
+      for (u32 i : op.idx) tmp.push_back(v[i]);
+      std::sort(tmp.begin(), tmp.end());
+      if (op.descending) std::reverse(tmp.begin(), tmp.end());
+      for (usize k = 0; k < op.idx.size(); ++k) v[op.idx[k]] = tmp[k];
+    }
+  }
+
+  /// Drops all but the first `keep` ops (used to build "sorts most inputs"
+  /// networks for the generalized 0-1 experiments).
+  BlockSortNetwork truncated(usize keep) const;
+
+ private:
+  u32 n_;
+  std::vector<SortOp> ops_;
+};
+
+/// Batcher's odd-even merge sort network (n a power of two).
+BlockSortNetwork batcher_sort(u32 n);
+
+/// Bitonic sort network (n a power of two).
+BlockSortNetwork bitonic_sort(u32 n);
+
+/// Odd-even transposition sort truncated to `rounds` rounds (full sort
+/// needs n rounds).
+BlockSortNetwork odd_even_transposition(u32 n, u32 rounds);
+
+/// Shearsort on a rows x cols mesh in snake order, `iterations` row+column
+/// phases (full sort needs ceil(log2(rows)) + 1 phases). The sorted order
+/// is snake-major.
+BlockSortNetwork shearsort(u32 rows, u32 cols, u32 iterations);
+
+/// Indices of the snake order for a rows x cols mesh: entry k is the
+/// linear (row-major) position of snake rank k.
+std::vector<u32> snake_order(u32 rows, u32 cols);
+
+/// Leighton's 8-step columnsort on an r x c matrix (stored column-major;
+/// sorted order is column-major). Correct iff r >= 2(c-1)^2 — the
+/// constraint behind the capacity comparisons of Observations 4.1/5.1,
+/// whose tightness the theory tests probe by sweeping r below the bound.
+BlockSortNetwork columnsort_network(u32 r, u32 c);
+
+}  // namespace pdm::theory

@@ -1,0 +1,67 @@
+#include "theory/shuffling_lemma.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace pdm::theory {
+
+double shuffling_bound(u64 n, u64 q, double alpha) {
+  const double nd = static_cast<double>(n);
+  const double qd = static_cast<double>(q);
+  return nd / std::sqrt(qd) *
+             std::sqrt((alpha + 2.0) * std::log(nd) + 1.0) +
+         nd / qd;
+}
+
+ShuffleLemmaResult shuffling_experiment(u64 n, u64 q, double alpha,
+                                        Rng& rng) {
+  PDM_CHECK(q > 0 && n % q == 0, "q must divide n");
+  const u64 m = n / q;
+  ShuffleLemmaResult res;
+  res.n = n;
+  res.q = q;
+  res.alpha = alpha;
+  res.bound = shuffling_bound(n, q, alpha);
+
+  std::vector<u32> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  shuffle(perm, rng);
+  // Parts are consecutive q-slices of the random permutation (equivalent
+  // to a random partition, as the lemma notes). Sort each part.
+  for (u64 p = 0; p < m; ++p) {
+    std::sort(perm.begin() + static_cast<std::ptrdiff_t>(p * q),
+              perm.begin() + static_cast<std::ptrdiff_t>((p + 1) * q));
+  }
+  // Shuffle: Z[t*m + p] = part_p[t]; value v's sorted position is v.
+  u64 max_d = 0;
+  double sum_d = 0;
+  for (u64 p = 0; p < m; ++p) {
+    for (u64 t = 0; t < q; ++t) {
+      const u64 z_pos = t * m + p;
+      const u64 v = perm[p * q + t];
+      const u64 d = z_pos > v ? z_pos - v : v - z_pos;
+      max_d = std::max(max_d, d);
+      sum_d += static_cast<double>(d);
+    }
+  }
+  res.max_displacement = max_d;
+  res.mean_displacement = sum_d / static_cast<double>(n);
+  res.within_bound = static_cast<double>(max_d) <= res.bound;
+  return res;
+}
+
+ShuffleLemmaAggregate shuffling_trials(u64 n, u64 q, double alpha, u64 trials,
+                                       Rng& rng) {
+  ShuffleLemmaAggregate agg;
+  agg.trials = trials;
+  for (u64 t = 0; t < trials; ++t) {
+    auto r = shuffling_experiment(n, q, alpha, rng);
+    if (!r.within_bound) ++agg.violations;
+    if (r.max_displacement >= agg.worst.max_displacement) agg.worst = r;
+  }
+  return agg;
+}
+
+}  // namespace pdm::theory

@@ -1,0 +1,43 @@
+// The shuffling lemma (paper §4.1, Lemma 4.2) as a Monte-Carlo
+// experiment: partition a random permutation of 1..n into m = n/q parts,
+// sort each, shuffle (stride-m interleave), and measure how far records
+// land from their sorted positions. The lemma bounds the displacement by
+//   (n/sqrt(q)) * sqrt((alpha+2) ln n + 1) + n/q
+// with probability >= 1 - n^-alpha. bench_e11 sweeps (n, q) and reports
+// measured max displacement against the bound.
+#pragma once
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace pdm::theory {
+
+struct ShuffleLemmaResult {
+  u64 n = 0;
+  u64 q = 0;
+  double alpha = 0;
+  u64 max_displacement = 0;
+  double mean_displacement = 0;
+  double bound = 0;
+  bool within_bound = false;
+};
+
+/// The lemma's displacement bound.
+double shuffling_bound(u64 n, u64 q, double alpha);
+
+/// One trial: random permutation, partition into n/q parts of q, sort
+/// parts, shuffle, measure displacements.
+ShuffleLemmaResult shuffling_experiment(u64 n, u64 q, double alpha, Rng& rng);
+
+/// Repeats `trials` experiments and returns the worst (max displacement)
+/// observation, with `violations` = number of trials exceeding the bound.
+struct ShuffleLemmaAggregate {
+  ShuffleLemmaResult worst;
+  u64 trials = 0;
+  u64 violations = 0;
+};
+
+ShuffleLemmaAggregate shuffling_trials(u64 n, u64 q, double alpha, u64 trials,
+                                       Rng& rng);
+
+}  // namespace pdm::theory

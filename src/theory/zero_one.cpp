@@ -1,0 +1,147 @@
+#include "theory/zero_one.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pdm::theory {
+
+namespace {
+
+template <class T>
+bool sorted_under_order(std::span<const T> v, std::span<const u32> order) {
+  if (order.empty()) {
+    return std::is_sorted(v.begin(), v.end());
+  }
+  for (usize i = 1; i < order.size(); ++i) {
+    if (v[order[i]] < v[order[i - 1]]) return false;
+  }
+  return true;
+}
+
+// log2 of C(n, k), to decide exhaustive vs sampled per-k testing.
+double log2_choose(u32 n, u32 k) {
+  double s = 0;
+  for (u32 i = 0; i < k; ++i) {
+    s += std::log2(static_cast<double>(n - i)) -
+         std::log2(static_cast<double>(i + 1));
+  }
+  return s;
+}
+
+}  // namespace
+
+BinaryTestReport test_all_binary(const BlockSortNetwork& net,
+                                 std::span<const u32> order) {
+  const u32 n = net.lines();
+  PDM_CHECK(n <= 26, "exhaustive binary test limited to n <= 26");
+  BinaryTestReport rep;
+  rep.exhaustive = true;
+  std::vector<u8> v(n);
+  const u64 total = u64{1} << n;
+  for (u64 mask = 0; mask < total; ++mask) {
+    for (u32 i = 0; i < n; ++i) v[i] = static_cast<u8>((mask >> i) & 1);
+    net.apply(std::span<u8>(v));
+    ++rep.tested;
+    if (!sorted_under_order<u8>(std::span<const u8>(v), order)) {
+      ++rep.failures;
+    }
+  }
+  rep.sorts_all = rep.failures == 0;
+  return rep;
+}
+
+std::vector<u8> sample_k_string(u32 n, u32 k, Rng& rng) {
+  std::vector<u8> v(n, 1);
+  // Reservoir-style: choose k positions for the zeros.
+  std::vector<u32> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  for (u32 i = 0; i < k; ++i) {
+    const u32 j = i + static_cast<u32>(rng.below(n - i));
+    std::swap(idx[i], idx[j]);
+    v[idx[i]] = 0;
+  }
+  return v;
+}
+
+PerKReport estimate_alpha_per_k(const BlockSortNetwork& net,
+                                u64 samples_per_k, Rng& rng,
+                                std::span<const u32> order,
+                                u64 exhaustive_limit) {
+  const u32 n = net.lines();
+  PerKReport rep;
+  rep.alpha_hat.resize(n + 1, 1.0);
+  rep.tested.resize(n + 1, 0);
+  std::vector<u8> v(n);
+  for (u32 k = 0; k <= n; ++k) {
+    const double log_cnk = log2_choose(n, k);
+    u64 ok = 0;
+    u64 tested = 0;
+    if (log_cnk <= std::log2(static_cast<double>(exhaustive_limit))) {
+      // Enumerate all strings with k zeros via combinations.
+      std::vector<u32> comb(k);
+      std::iota(comb.begin(), comb.end(), 0u);
+      const bool empty_comb = (k == 0);
+      bool done = false;
+      while (!done) {
+        std::fill(v.begin(), v.end(), u8{1});
+        for (u32 pos : comb) v[pos] = 0;
+        std::vector<u8> w = v;
+        net.apply(std::span<u8>(w));
+        ++tested;
+        if (sorted_under_order<u8>(std::span<const u8>(w), order)) ++ok;
+        if (empty_comb) break;
+        // Next combination.
+        i64 i = static_cast<i64>(k) - 1;
+        while (i >= 0 && comb[static_cast<usize>(i)] ==
+                             n - k + static_cast<u32>(i)) {
+          --i;
+        }
+        if (i < 0) {
+          done = true;
+        } else {
+          ++comb[static_cast<usize>(i)];
+          for (usize j = static_cast<usize>(i) + 1; j < k; ++j) {
+            comb[j] = comb[j - 1] + 1;
+          }
+        }
+      }
+      rep.exhaustive = true;
+    } else {
+      for (u64 t = 0; t < samples_per_k; ++t) {
+        auto w = sample_k_string(n, k, rng);
+        net.apply(std::span<u8>(w));
+        ++tested;
+        if (sorted_under_order<u8>(std::span<const u8>(w), order)) ++ok;
+      }
+    }
+    rep.alpha_hat[k] =
+        tested == 0 ? 1.0
+                    : static_cast<double>(ok) / static_cast<double>(tested);
+    rep.tested[k] = tested;
+    rep.min_alpha = std::min(rep.min_alpha, rep.alpha_hat[k]);
+  }
+  return rep;
+}
+
+double permutation_success_rate(const BlockSortNetwork& net, u64 trials,
+                                Rng& rng, std::span<const u32> order) {
+  const u32 n = net.lines();
+  std::vector<u32> v(n);
+  u64 ok = 0;
+  for (u64 t = 0; t < trials; ++t) {
+    std::iota(v.begin(), v.end(), 0u);
+    shuffle(v, rng);
+    net.apply(std::span<u32>(v));
+    if (sorted_under_order<u32>(std::span<const u32>(v), order)) ++ok;
+  }
+  return trials == 0 ? 1.0
+                     : static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+double generalized_zero_one_bound(double alpha, u32 n) {
+  const double b = 1.0 - (1.0 - alpha) * (static_cast<double>(n) + 1.0);
+  return std::clamp(b, 0.0, 1.0);
+}
+
+}  // namespace pdm::theory

@@ -1,0 +1,57 @@
+// The generalized 0-1 principle (paper Theorem 3.3 and Appendix A) as an
+// executable experiment.
+//
+// Theorem 3.3: if an oblivious sorting circuit on n lines sorts at least
+// an alpha fraction of S_k (the binary strings with exactly k zeros) for
+// every k, then it sorts at least 1 - (1-alpha)(n+1) of all permutations.
+// zero_one.cpp estimates alpha-hat per k (exhaustively for small n,
+// sampled otherwise), evaluates the bound with alpha = min_k alpha-hat_k,
+// and measures the true permutation success rate for comparison —
+// bench_e10 prints all three so the bound can be checked empirically.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "theory/network.h"
+#include "util/rng.h"
+
+namespace pdm::theory {
+
+struct BinaryTestReport {
+  u64 tested = 0;
+  u64 failures = 0;
+  bool exhaustive = false;
+  bool sorts_all = false;
+};
+
+/// Tests every binary input (n <= 24 recommended). `order` optionally maps
+/// sorted rank -> line index (snake order for meshes); identity if empty.
+BinaryTestReport test_all_binary(const BlockSortNetwork& net,
+                                 std::span<const u32> order = {});
+
+struct PerKReport {
+  std::vector<double> alpha_hat;   // per k = 0..n success fraction
+  std::vector<u64> tested;         // samples per k
+  double min_alpha = 1.0;
+  bool exhaustive = false;
+};
+
+/// Estimates the per-k success fractions. Exhaustive when C(n,k) totals
+/// are below `exhaustive_limit`, otherwise `samples_per_k` random k-strings.
+PerKReport estimate_alpha_per_k(const BlockSortNetwork& net,
+                                u64 samples_per_k, Rng& rng,
+                                std::span<const u32> order = {},
+                                u64 exhaustive_limit = 1u << 20);
+
+/// Fraction of random permutations the network sorts.
+double permutation_success_rate(const BlockSortNetwork& net, u64 trials,
+                                Rng& rng, std::span<const u32> order = {});
+
+/// Theorem 3.3's guarantee: >= 1 - (1-alpha)(n+1), clamped to [0, 1].
+double generalized_zero_one_bound(double alpha, u32 n);
+
+/// Uniformly samples a binary string with exactly k zeros.
+std::vector<u8> sample_k_string(u32 n, u32 k, Rng& rng);
+
+}  // namespace pdm::theory

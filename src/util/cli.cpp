@@ -1,0 +1,47 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace pdm {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg.substr(2)] = "true";
+      } else {
+        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+u64 Cli::get_u64(const std::string& key, u64 def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace pdm

@@ -1,0 +1,34 @@
+// Minimal --key=value command-line parser for examples and bench binaries.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace pdm {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  u64 get_u64(const std::string& key, u64 def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Positional (non --key) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pdm

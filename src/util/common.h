@@ -1,0 +1,48 @@
+// Basic shared types and error-checking macros for pdmsort.
+//
+// The library throws pdm::Error for user-facing misuse (bad geometry,
+// capacity exceeded) and uses PDM_ASSERT for internal invariants that
+// indicate a bug in the library itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace pdm {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Exception type for all user-facing library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg,
+                              std::source_location loc =
+                                  std::source_location::current()) {
+  throw Error(std::string(loc.file_name()) + ":" +
+              std::to_string(loc.line()) + ": " + msg);
+}
+
+/// Checks a user-facing precondition; throws pdm::Error on violation.
+#define PDM_CHECK(cond, msg)     \
+  do {                           \
+    if (!(cond)) ::pdm::fail(msg); \
+  } while (0)
+
+/// Internal invariant; indicates a library bug if it fires.
+#define PDM_ASSERT(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) ::pdm::fail(std::string("internal invariant: ") + msg); \
+  } while (0)
+
+}  // namespace pdm

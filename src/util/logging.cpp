@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace pdm {
+namespace {
+
+std::atomic<int> g_level{-1};
+std::mutex g_emit_mu;
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("PDMSORT_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(level_from_env());
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg) {
+  static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  std::lock_guard lock(g_emit_mu);
+  std::cerr << "[pdmsort " << names[static_cast<int>(level)] << "] " << msg
+            << "\n";
+}
+
+}  // namespace detail
+}  // namespace pdm

@@ -1,0 +1,33 @@
+// Leveled logging. Default level is WARN so tests stay quiet; examples and
+// benches raise it via pdm::set_log_level or the PDMSORT_LOG env variable
+// (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pdm {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+#define PDM_LOG(level, expr)                                        \
+  do {                                                              \
+    if (static_cast<int>(level) <= static_cast<int>(::pdm::log_level())) { \
+      std::ostringstream pdm_log_os;                                \
+      pdm_log_os << expr;                                           \
+      ::pdm::detail::log_emit(level, pdm_log_os.str());             \
+    }                                                               \
+  } while (0)
+
+#define PDM_INFO(expr) PDM_LOG(::pdm::LogLevel::kInfo, expr)
+#define PDM_WARN(expr) PDM_LOG(::pdm::LogLevel::kWarn, expr)
+#define PDM_DEBUG(expr) PDM_LOG(::pdm::LogLevel::kDebug, expr)
+
+}  // namespace pdm

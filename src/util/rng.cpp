@@ -1,0 +1,72 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace pdm {
+namespace {
+
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(u64 seed) {
+  u64 x = seed;
+  for (auto& si : s_) si = splitmix64(x);
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::below(u64 bound) {
+  PDM_CHECK(bound > 0, "Rng::below(0)");
+  // Lemire's nearly-divisionless method.
+  u64 x = next();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  u64 l = static_cast<u64>(m);
+  if (l < bound) {
+    u64 t = (~bound + 1) % bound;  // == 2^64 mod bound
+    while (l < t) {
+      x = next();
+      m = static_cast<unsigned __int128>(x) * bound;
+      l = static_cast<u64>(m);
+    }
+  }
+  return static_cast<u64>(m >> 64);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+i64 Rng::range(i64 lo, i64 hi) {
+  PDM_CHECK(lo <= hi, "Rng::range: lo > hi");
+  return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+}
+
+double Rng::normal() {
+  double u1 = uniform01();
+  double u2 = uniform01();
+  if (u1 <= 0.0) u1 = std::numeric_limits<double>::min();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace pdm

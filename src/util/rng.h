@@ -1,0 +1,54 @@
+// Deterministic, seedable RNG (xoshiro256**) plus distribution helpers.
+//
+// All randomized components of the library draw from pdm::Rng so every
+// experiment is reproducible from a single seed printed in its report.
+#pragma once
+
+#include <array>
+#include <limits>
+
+#include "util/common.h"
+
+namespace pdm {
+
+/// xoshiro256** by Blackman & Vigna; seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(u64 seed);
+
+  /// Uniform u64 over the full range.
+  u64 next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  u64 below(u64 bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi);
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Standard normal via Box-Muller (no state caching; fine for our use).
+  double normal();
+
+ private:
+  std::array<u64, 4> s_{};
+};
+
+/// Fisher-Yates shuffle of an arbitrary indexable container.
+template <class Container>
+void shuffle(Container& c, Rng& rng) {
+  const usize n = c.size();
+  for (usize i = n; i > 1; --i) {
+    usize j = static_cast<usize>(rng.below(i));
+    using std::swap;
+    swap(c[i - 1], c[j]);
+  }
+}
+
+}  // namespace pdm

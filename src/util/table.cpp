@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pdm {
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  PDM_CHECK(!rows_.empty(), "Table::cell before row()");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+Table& Table::cell(double v, int precision) { return cell(fmt_double(v, precision)); }
+Table& Table::cell(u64 v) { return cell(std::to_string(v)); }
+Table& Table::cell(i64 v) { return cell(std::to_string(v)); }
+Table& Table::cell(int v) { return cell(std::to_string(v)); }
+Table& Table::cell(bool v) { return cell(std::string(v ? "yes" : "no")); }
+
+std::string Table::to_string() const {
+  std::vector<usize> width(headers_.size());
+  for (usize c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (usize c = 0; c < r.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (usize c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << " " << v << std::string(width[c] - v.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (usize c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string() << "\n"; }
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string fmt_count(u64 v) {
+  const char* suffix[] = {"", "K", "M", "G", "T"};
+  double d = static_cast<double>(v);
+  int i = 0;
+  while (d >= 1000.0 && i < 4) {
+    d /= 1000.0;
+    ++i;
+  }
+  std::ostringstream os;
+  if (i == 0) {
+    os << v;
+  } else {
+    os << std::fixed << std::setprecision(d < 10 ? 2 : (d < 100 ? 1 : 0)) << d
+       << suffix[i];
+  }
+  return os.str();
+}
+
+}  // namespace pdm

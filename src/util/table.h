@@ -1,0 +1,48 @@
+// Markdown / aligned-text table printer used by the benchmark harness so
+// every bench binary prints the paper-style rows in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace pdm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& v);
+  Table& cell(const char* v);
+  Table& cell(double v, int precision = 3);
+  Table& cell(u64 v);
+  Table& cell(i64 v);
+  Table& cell(int v);
+  Table& cell(bool v);
+
+  /// Renders as a GitHub-flavoured markdown table with aligned columns.
+  std::string to_string() const;
+
+  /// Prints to the stream followed by a blank line.
+  void print(std::ostream& os) const;
+
+  usize num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming trailing zeros.
+std::string fmt_double(double v, int precision = 3);
+
+/// Formats 12345678 as "12.35M" etc. for readable record counts.
+std::string fmt_count(u64 v);
+
+}  // namespace pdm

@@ -1,0 +1,171 @@
+// Tests for the M^2-scale sorts: SevenPass (Theorem 6.2) and
+// ExpectedSixPass (Theorem 6.3).
+#include <gtest/gtest.h>
+
+#include "core/expected_six_pass.h"
+#include "core/seven_pass.h"
+#include "test_support.h"
+
+namespace pdm {
+namespace {
+
+using test::Geometry;
+
+class SevenPassDist : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(SevenPassDist, SortsMSquared) {
+  const u64 mem = 256;
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(static_cast<u64>(GetParam()) * 3 + 1);
+  const u64 n = mem * mem;
+  auto data = make_keys(static_cast<usize>(n), GetParam(), rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  SevenPassOptions opt;
+  opt.mem_records = mem;
+  auto res = seven_pass_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  test::expect_passes_near(res.report, 7.0, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dists, SevenPassDist,
+                         ::testing::Values(Dist::kUniform, Dist::kSorted,
+                                           Dist::kReverse, Dist::kFewDistinct,
+                                           Dist::kZipf, Dist::kAllEqual),
+                         [](const auto& info) {
+                           std::string s = dist_name(info.param);
+                           std::replace(s.begin(), s.end(), '-', '_');
+                           return s;
+                         });
+
+TEST(SevenPass, PartialSegmentsCounts) {
+  // N = k * M^{3/2} for k < sqrt(M) also works (fewer outer sequences).
+  const u64 mem = 256;
+  const auto g = Geometry::square(mem);
+  for (u64 k : {2ull, 5ull, 9ull}) {
+    auto ctx = test::make_ctx<u64>(g, k);
+    Rng rng(k * 7);
+    const u64 n = k * mem * 16;
+    auto data = make_keys(static_cast<usize>(n), Dist::kUniform, rng);
+    auto in = test::stage_input<u64>(*ctx, data);
+    SevenPassOptions opt;
+    opt.mem_records = mem;
+    auto res = seven_pass_sort<u64>(*ctx, in, opt);
+    test::expect_sorted_output<u64>(res.output, data);
+    EXPECT_LE(res.report.passes, 7.4) << "k=" << k;
+  }
+}
+
+TEST(SevenPass, RejectsBadShapes) {
+  const u64 mem = 256;
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  std::vector<u64> data(mem * 8, 1);  // not a multiple of M^{3/2}
+  auto in = test::stage_input<u64>(*ctx, data);
+  SevenPassOptions opt;
+  opt.mem_records = mem;
+  EXPECT_THROW(seven_pass_sort<u64>(*ctx, in, opt), Error);
+}
+
+TEST(SevenPass, LargerGeometry) {
+  const u64 mem = 1024;
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(11);
+  const u64 n = 4 * mem * 32;  // 4 outer segments of M^{3/2}
+  auto data = make_keys(static_cast<usize>(n), Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  SevenPassOptions opt;
+  opt.mem_records = mem;
+  auto res = seven_pass_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  EXPECT_GT(res.report.utilization, 0.9 * g.disks);
+}
+
+TEST(ExpectedSixPass, SortsWithinCapacity) {
+  const u64 mem = 1024;
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  const u64 n = 8 * 4096;
+  Rng rng(13);
+  auto data = make_keys(static_cast<usize>(n), Dist::kPermutation, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedSixPassOptions opt;
+  opt.mem_records = mem;
+  auto res = expected_six_pass_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  EXPECT_FALSE(res.report.fallback_taken);
+  test::expect_passes_near(res.report, 6.0, 0.4);
+}
+
+TEST(ExpectedSixPass, BeatsSevenPassByAboutOnePass) {
+  // Same N for both: 2 full M^{3/2} segments (SevenPass shape), within
+  // cap6 so ExpectedSixPass succeeds without fallback.
+  const u64 mem = 1024;
+  const auto g = Geometry::square(mem);
+  const u64 n = 2 * mem * 32;  // 65536
+  ASSERT_LE(n, cap_expected_six_pass(mem, 1.0));
+  Rng rng(17);
+  auto data = make_keys(static_cast<usize>(n), Dist::kUniform, rng);
+  double p6, p7;
+  {
+    auto ctx = test::make_ctx<u64>(g);
+    auto in = test::stage_input<u64>(*ctx, data);
+    ExpectedSixPassOptions opt;
+    opt.mem_records = mem;
+    auto res = expected_six_pass_sort<u64>(*ctx, in, opt);
+    EXPECT_FALSE(res.report.fallback_taken);
+    p6 = res.report.passes;
+  }
+  {
+    auto ctx = test::make_ctx<u64>(g);
+    auto in = test::stage_input<u64>(*ctx, data);
+    SevenPassOptions opt;
+    opt.mem_records = mem;
+    p7 = seven_pass_sort<u64>(*ctx, in, opt).report.passes;
+  }
+  EXPECT_LT(p6, p7 - 0.5);
+}
+
+TEST(ExpectedSixPass, AdversarialSegmentsFallBackAndStillSort) {
+  const u64 mem = 1024;
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  const u64 n = 8 * 4096;
+  auto data = make_rotated(static_cast<usize>(n), static_cast<usize>(n / 2));
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedSixPassOptions opt;
+  opt.mem_records = mem;
+  auto res = expected_six_pass_sort<u64>(*ctx, in, opt);
+  EXPECT_TRUE(res.report.fallback_taken);
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+TEST(ExpectedSixPass, ExplicitSegmentLength) {
+  const u64 mem = 1024;
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  const u64 n = 4 * 5120;
+  Rng rng(21);
+  auto data = make_keys(static_cast<usize>(n), Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedSixPassOptions opt;
+  opt.mem_records = mem;
+  opt.segment_len = 5120;  // 5M, multiple of sqrt(M)*B = 1024
+  auto res = expected_six_pass_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+TEST(ExpectedSixPass, InfeasibleSegmentsThrow) {
+  const u64 mem = 256;
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  std::vector<u64> data(mem * mem, 1);  // cap6 < M^2: no feasible split
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedSixPassOptions opt;
+  opt.mem_records = mem;
+  EXPECT_THROW(expected_six_pass_sort<u64>(*ctx, in, opt), Error);
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,252 @@
+// Tests for the expected-pass algorithms (Theorems 3.2, 5.1, 6.1):
+// success path pass counts, capacity formulas, on-line violation detection
+// and the deterministic fallbacks under adversarial inputs.
+#include <gtest/gtest.h>
+
+#include "core/capacity.h"
+#include "core/expected_three_pass.h"
+#include "core/expected_two_pass.h"
+#include "test_support.h"
+
+namespace pdm {
+namespace {
+
+using test::Geometry;
+
+TEST(Capacity, FormulasAreOrderedAsInThePaper) {
+  const u64 m = 1u << 20;
+  const double alpha = 1.0;
+  // cap2 < M^1.5 (lambda > 1), cap3 between M^1.5 and M^1.75, etc.
+  EXPECT_LT(cap_expected_two_pass(m, alpha), cap_three_pass(m, isqrt(m)));
+  EXPECT_GT(cap_expected_three_pass(m, alpha), cap_three_pass(m, isqrt(m)));
+  EXPECT_LT(cap_expected_three_pass(m, alpha), cap_seven_pass(m));
+  EXPECT_LT(cap_expected_six_pass(m, alpha), cap_seven_pass(m));
+  // Observation 4.1: LMM three-pass beats columnsort's M*sqrt(M/2).
+  EXPECT_GT(cap_three_pass(m, isqrt(m)), cap_columnsort_cc(m));
+}
+
+TEST(Capacity, LowerBoundMatchesLemma21) {
+  // Lemma 2.1 quotes the asymptotic bound: 2 passes for M^1.5 at
+  // B = sqrt(M), 3 for M^2, and 1.75 when B = M^{1/3} (§8).
+  const u64 m = 1u << 20;
+  const u64 b = 1u << 10;
+  EXPECT_NEAR(lower_bound_passes_asymptotic(m * b, m, b), 2.0, 1e-9);
+  EXPECT_NEAR(lower_bound_passes_asymptotic(m * m, m, b), 3.0, 1e-9);
+  const u64 m2 = 1u << 21;
+  const u64 b2 = 1u << 7;
+  EXPECT_NEAR(lower_bound_passes_asymptotic(
+                  static_cast<u64>(std::pow(2.0, 31.5)), m2, b2),
+              1.75, 0.01);
+  // The exact finite-M Arge bound equals the paper's own expression
+  // 2(1 - 1.45/lg M)/(1 + 6/lg M) at N = M^1.5 (which the paper calls
+  // "very nearly 2"; at M = 2^20 it evaluates to ~1.43).
+  const double lg_m = 20.0;
+  const double paper_expr = 2.0 * (1 - 1.45 / lg_m) / (1 + 6.0 / lg_m);
+  EXPECT_NEAR(lower_bound_passes(m * b, m, b), paper_expr, 0.02);
+  // And it approaches the asymptotic form as M grows.
+  EXPECT_LT(lower_bound_passes(m * b, m, b),
+            lower_bound_passes_asymptotic(m * b, m, b));
+}
+
+class ExpTwoPassDist : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(ExpTwoPassDist, SortsRandomInputsInTwoPasses) {
+  const auto g = Geometry::square(1024);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(static_cast<u64>(GetParam()) + 17);
+  const u64 n = 4 * 1024;
+  auto data = make_keys(static_cast<usize>(n), GetParam(), rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedTwoPassOptions opt;
+  opt.mem_records = 1024;
+  auto res = expected_two_pass_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  if (!res.report.fallback_taken) {
+    test::expect_passes_near(res.report, 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dists, ExpTwoPassDist,
+                         ::testing::Values(Dist::kUniform, Dist::kPermutation,
+                                           Dist::kFewDistinct, Dist::kZipf,
+                                           Dist::kAllEqual),
+                         [](const auto& info) {
+                           std::string s = dist_name(info.param);
+                           std::replace(s.begin(), s.end(), '-', '_');
+                           return s;
+                         });
+
+TEST(ExpectedTwoPass, NoFallbackAcrossManySeedsWithinCapacity) {
+  // Theorem 5.1 says failure probability <= M^-alpha; within capacity we
+  // should never see a fallback over a modest number of seeds.
+  const auto g = Geometry::square(1024);
+  const u64 cap = cap_expected_two_pass(1024, 1.0);
+  const u64 n = round_down(cap, 1024);
+  ASSERT_GT(n, 0u);
+  int fallbacks = 0;
+  for (u64 seed = 0; seed < 20; ++seed) {
+    auto ctx = test::make_ctx<u64>(g, seed + 1);
+    Rng rng(seed);
+    auto data = make_keys(static_cast<usize>(n), Dist::kPermutation, rng);
+    auto in = test::stage_input<u64>(*ctx, data);
+    ExpectedTwoPassOptions opt;
+    opt.mem_records = 1024;
+    auto res = expected_two_pass_sort<u64>(*ctx, in, opt);
+    test::expect_sorted_output<u64>(res.output, data);
+    if (res.report.fallback_taken) ++fallbacks;
+  }
+  EXPECT_EQ(fallbacks, 0);
+}
+
+TEST(ExpectedTwoPass, AdversarialRotationForcesFallback) {
+  // A rotation by M/2 displaces every record by ~N/2 >> M after the
+  // shuffle: detection must fire, the fallback must still sort, and the
+  // total cost is the aborted attempt plus three deterministic passes.
+  const auto g = Geometry::square(1024);
+  auto ctx = test::make_ctx<u64>(g);
+  const u64 n = 8 * 1024;
+  auto data = make_rotated(static_cast<usize>(n), static_cast<usize>(n / 2));
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedTwoPassOptions opt;
+  opt.mem_records = 1024;
+  auto res = expected_two_pass_sort<u64>(*ctx, in, opt);
+  EXPECT_TRUE(res.report.fallback_taken);
+  test::expect_sorted_output<u64>(res.output, data);
+  // 1 (runs) + aborted partial + 3 (lmm fallback) <= ~5.2 passes; at least 4.
+  EXPECT_GE(res.report.passes, 4.0);
+  EXPECT_LE(res.report.passes, 5.5);
+}
+
+TEST(ExpectedTwoPass, ResortFromScratchFallbackAlsoSorts) {
+  const auto g = Geometry::square(1024);
+  auto ctx = test::make_ctx<u64>(g);
+  const u64 n = 8 * 1024;
+  auto data = make_rotated(static_cast<usize>(n), static_cast<usize>(n / 2));
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedTwoPassOptions opt;
+  opt.mem_records = 1024;
+  opt.resort_from_scratch = true;  // the paper-literal fallback
+  auto res = expected_two_pass_sort<u64>(*ctx, in, opt);
+  EXPECT_TRUE(res.report.fallback_taken);
+  test::expect_sorted_output<u64>(res.output, data);
+  // 1 + partial + 3-pass re-sort (which rereads the raw input).
+  EXPECT_GE(res.report.passes, 4.0);
+}
+
+TEST(ExpectedTwoPass, EnforceCapacityThrows) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  const u64 cap = cap_expected_two_pass(256, 1.0);
+  const u64 n = round_up(cap + 256, 256);
+  std::vector<u64> data(static_cast<usize>(n), 1);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedTwoPassOptions opt;
+  opt.mem_records = 256;
+  opt.enforce_capacity = true;
+  EXPECT_THROW(expected_two_pass_sort<u64>(*ctx, in, opt), Error);
+}
+
+TEST(ExpectedTwoPass, MeshVariantSortsAndMatchesEngine) {
+  // Theorem 3.2's mesh formulation = same engine with column-length runs.
+  const auto g = Geometry::square(1024);
+  auto ctx = test::make_ctx<u64>(g);
+  const u64 n = 32 * 256;  // 8192: columns of 256 = N/sqrt(M)
+  Rng rng(33);
+  auto data = make_keys(static_cast<usize>(n), Dist::kPermutation, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedTwoPassOptions opt;
+  opt.mem_records = 1024;
+  auto res = expected_two_pass_mesh_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  if (!res.report.fallback_taken) {
+    test::expect_passes_near(res.report, 2.0);
+  }
+}
+
+TEST(ExpectedTwoPass, SortedInputIsAdversarialForTheShuffle) {
+  // Counter-intuitive but correct: already-sorted input makes the runs
+  // disjoint consecutive ranges, so the shuffle interleaves them with
+  // near-maximal displacement (run i's record t lands at t*N1 + i but
+  // belongs at i*M + t). Detection must fire and the fallback must sort.
+  // This is exactly why Theorem 5.1 is a statement about *random* inputs.
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  const u64 n = 16 * 256;
+  Rng rng(1);
+  auto data = make_keys(static_cast<usize>(n), Dist::kSorted, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedTwoPassOptions opt;
+  opt.mem_records = 256;
+  auto res = expected_two_pass_sort<u64>(*ctx, in, opt);
+  EXPECT_TRUE(res.report.fallback_taken);
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+TEST(ExpectedThreePass, SortsAtVariousSizes) {
+  const u64 mem = 1024;
+  const auto g = Geometry::square(mem);
+  for (u64 segs : {2ull, 4ull, 8ull}) {
+    auto ctx = test::make_ctx<u64>(g, segs);
+    const u64 n = segs * 4 * mem;
+    Rng rng(segs);
+    auto data = make_keys(static_cast<usize>(n), Dist::kUniform, rng);
+    auto in = test::stage_input<u64>(*ctx, data);
+    ExpectedThreePassOptions opt;
+    opt.mem_records = mem;
+    opt.segment_len = 4 * mem;
+    auto res = expected_three_pass_sort<u64>(*ctx, in, opt);
+    test::expect_sorted_output<u64>(res.output, data);
+    if (!res.report.fallback_taken) {
+      test::expect_passes_near(res.report, 3.0, 0.25);
+    }
+  }
+}
+
+TEST(ExpectedThreePass, AutoSegmentChoiceWorks) {
+  const u64 mem = 1024;
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  const u64 n = 16 * mem;
+  Rng rng(9);
+  auto data = make_keys(static_cast<usize>(n), Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedThreePassOptions opt;
+  opt.mem_records = mem;
+  auto res = expected_three_pass_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+TEST(ExpectedThreePass, AdversarialInputStillSorts) {
+  const u64 mem = 1024;
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  const u64 n = 16 * mem;
+  auto data = make_rotated(static_cast<usize>(n), static_cast<usize>(n / 2));
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedThreePassOptions opt;
+  opt.mem_records = mem;
+  opt.segment_len = 4 * mem;
+  auto res = expected_three_pass_sort<u64>(*ctx, in, opt);
+  EXPECT_TRUE(res.report.fallback_taken);
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+TEST(ExpectedTwoPass, KvRecordsWithFallback) {
+  // Payload integrity through the fallback path.
+  const auto g = Geometry::square(256);
+  auto ctx = make_memory_context(g.disks, g.rpb * sizeof(KV64));
+  const u64 n = 8 * 256;
+  std::vector<KV64> data(static_cast<usize>(n));
+  for (usize i = 0; i < data.size(); ++i) {
+    data[i] = KV64{(i + n / 2) % n, static_cast<u64>(i)};  // rotation
+  }
+  auto in = test::stage_input<KV64>(*ctx, data);
+  ExpectedTwoPassOptions opt;
+  opt.mem_records = 256;
+  auto res = expected_two_pass_sort<KV64>(*ctx, in, opt);
+  EXPECT_TRUE(res.report.fallback_taken);
+  test::expect_key_sorted_permutation<KV64>(res.output, data);
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,296 @@
+// Cross-module integration tests: every sorter on the file-backed disk
+// array, randomized-shape fuzzing through the planner, simulated-time
+// accounting, and end-to-end memory-budget enforcement.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baselines/columnsort.h"
+#include "baselines/multiway_merge.h"
+#include "core/adaptive.h"
+#include "core/integer_sort.h"
+#include "core/radix_sort.h"
+#include "test_support.h"
+
+namespace pdm {
+namespace {
+
+using test::Geometry;
+
+class FileBackendSorters : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/pdmsort_it_" +
+           std::to_string(
+               ::testing::UnitTest::GetInstance()->random_seed());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(FileBackendSorters, ThreePassLmmOnFiles) {
+  const u64 mem = 1024;
+  auto ctx = make_file_context(8, 32 * sizeof(u64), dir_);
+  Rng rng(1);
+  auto data = make_keys(static_cast<usize>(mem * 32), Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassLmmOptions opt;
+  opt.mem_records = mem;
+  auto res = three_pass_lmm_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  test::expect_passes_near(res.report, 3.0);
+}
+
+TEST_F(FileBackendSorters, ExpectedTwoPassOnFiles) {
+  const u64 mem = 1024;
+  auto ctx = make_file_context(8, 32 * sizeof(u64), dir_);
+  Rng rng(2);
+  auto data = make_keys(static_cast<usize>(4 * mem), Dist::kPermutation, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ExpectedTwoPassOptions opt;
+  opt.mem_records = mem;
+  auto res = expected_two_pass_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+TEST_F(FileBackendSorters, MeshOnFiles) {
+  const u64 mem = 256;
+  auto ctx = make_file_context(4, 16 * sizeof(u64), dir_);
+  Rng rng(3);
+  auto data = make_keys(static_cast<usize>(mem * 16), Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassMeshOptions opt;
+  opt.mem_records = mem;
+  auto res = three_pass_mesh_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+TEST_F(FileBackendSorters, SevenPassOnFiles) {
+  const u64 mem = 256;
+  auto ctx = make_file_context(4, 16 * sizeof(u64), dir_);
+  Rng rng(4);
+  auto data = make_keys(static_cast<usize>(mem * mem), Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  SevenPassOptions opt;
+  opt.mem_records = mem;
+  auto res = seven_pass_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  test::expect_passes_near(res.report, 7.0, 0.2);
+}
+
+TEST_F(FileBackendSorters, RadixOnFiles) {
+  const u64 mem = 256;
+  auto ctx = make_file_context(4, 16 * sizeof(u64), dir_);
+  Rng rng(5);
+  auto data = make_int_keys(8192, 1u << 16, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  RadixSortOptions opt;
+  opt.mem_records = mem;
+  opt.key_bits = 16;
+  auto res = radix_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+TEST_F(FileBackendSorters, SameScheduleAsMemoryBackend) {
+  // Oblivious sorts must produce the identical I/O schedule on both
+  // backends — the medium is irrelevant to the model.
+  const u64 mem = 256;
+  Rng rng(6);
+  auto data = make_keys(4096, Dist::kUniform, rng);
+  u64 h_mem, h_file;
+  {
+    auto ctx = make_memory_context(4, 16 * sizeof(u64));
+    auto in = test::stage_input<u64>(*ctx, data);
+    ThreePassLmmOptions opt;
+    opt.mem_records = mem;
+    (void)three_pass_lmm_sort<u64>(*ctx, in, opt);
+    h_mem = ctx->stats().schedule_hash;
+  }
+  {
+    auto ctx = make_file_context(4, 16 * sizeof(u64), dir_);
+    auto in = test::stage_input<u64>(*ctx, data);
+    ThreePassLmmOptions opt;
+    opt.mem_records = mem;
+    (void)three_pass_lmm_sort<u64>(*ctx, in, opt);
+    h_file = ctx->stats().schedule_hash;
+  }
+  EXPECT_EQ(h_mem, h_file);
+}
+
+// Randomized shape fuzz: random geometries and sizes through the planner;
+// output must always be sorted and the pass count within the plan's
+// expectation plus fallback slack.
+class PlannerFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PlannerFuzz, RandomShapes) {
+  Rng shape_rng(GetParam() * 7919 + 3);
+  const u64 mems[] = {64, 256, 1024};
+  const u64 mem = mems[shape_rng.below(3)];
+  const u64 s = isqrt(mem);
+  const Geometry g{mem, s, static_cast<u32>(std::max<u64>(1, s / 4))};
+  auto ctx = test::make_ctx<u64>(g, GetParam());
+  // N: random multiple of M up to M^1.5 (always plannable).
+  const u64 n = mem * (1 + shape_rng.below(s));
+  Rng rng(GetParam());
+  const Dist dists[] = {Dist::kUniform, Dist::kPermutation, Dist::kZipf,
+                        Dist::kFewDistinct, Dist::kReverse};
+  const Dist dist = dists[shape_rng.below(5)];
+  auto data = make_keys(static_cast<usize>(n), dist, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  AdaptiveOptions opt;
+  opt.mem_records = mem;
+  auto res = pdm_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  EXPECT_LE(res.report.passes, 8.0) << res.report.algorithm;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerFuzz, ::testing::Range(u64{1}, u64{26}));
+
+TEST(SimTime, ProportionalToRoundsAndBlockSize) {
+  const CostModel cost;
+  auto ctx = make_memory_context(4, 16 * sizeof(u64));
+  Rng rng(1);
+  auto data = make_keys(4096, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassLmmOptions opt;
+  opt.mem_records = 256;
+  auto res = three_pass_lmm_sort<u64>(*ctx, in, opt);
+  const double expect =
+      static_cast<double>(res.report.io.total_ops()) *
+      cost.round_cost(16 * sizeof(u64));
+  EXPECT_NEAR(res.report.sim_seconds, expect, 1e-9);
+}
+
+TEST(SimTime, FewerPassesMeansLessSimTime) {
+  const u64 mem = 1024;
+  Rng rng(2);
+  auto data = make_keys(static_cast<usize>(4 * mem), Dist::kPermutation, rng);
+  double t2, t3;
+  {
+    auto ctx = make_memory_context(8, 32 * sizeof(u64));
+    auto in = test::stage_input<u64>(*ctx, data);
+    ExpectedTwoPassOptions opt;
+    opt.mem_records = mem;
+    auto res = expected_two_pass_sort<u64>(*ctx, in, opt);
+    ASSERT_FALSE(res.report.fallback_taken);
+    t2 = res.report.sim_seconds;
+  }
+  {
+    auto ctx = make_memory_context(8, 32 * sizeof(u64));
+    auto in = test::stage_input<u64>(*ctx, data);
+    ThreePassLmmOptions opt;
+    opt.mem_records = mem;
+    t3 = three_pass_lmm_sort<u64>(*ctx, in, opt).report.sim_seconds;
+  }
+  EXPECT_LT(t2, t3);
+}
+
+TEST(BudgetIntegration, MeshWithinDocumentedSlack) {
+  // DESIGN.md: mesh passes peak at ~2M (+ staging).
+  const auto g = Geometry::square(1024);
+  auto ctx = test::make_ctx<u64>(g);
+  const usize limit = static_cast<usize>(2.25 * 1024 * sizeof(u64)) +
+                      2 * g.disks * g.rpb * sizeof(u64);
+  ctx->budget().set_limit(limit);
+  Rng rng(3);
+  auto data = make_keys(static_cast<usize>(1024 * 32), Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassMeshOptions opt;
+  opt.mem_records = 1024;
+  auto res = three_pass_mesh_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+TEST(BudgetIntegration, SevenPassWithinDocumentedSlack) {
+  // SevenPass peaks in stage-1 cleanup: 2M window + M unshuffle staging.
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  const usize limit = static_cast<usize>(3.5 * 256 * sizeof(u64)) +
+                      2 * g.disks * g.rpb * sizeof(u64);
+  ctx->budget().set_limit(limit);
+  Rng rng(4);
+  auto data = make_keys(static_cast<usize>(256 * 256), Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  SevenPassOptions opt;
+  opt.mem_records = 256;
+  auto res = seven_pass_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  EXPECT_LE(res.report.peak_memory_bytes, limit);
+}
+
+TEST(BudgetIntegration, TooSmallBudgetThrowsCleanly) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  ctx->budget().set_limit(256 * sizeof(u64));  // only 1M — not enough
+  Rng rng(5);
+  auto data = make_keys(4096, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassLmmOptions opt;
+  opt.mem_records = 256;
+  EXPECT_THROW(three_pass_lmm_sort<u64>(*ctx, in, opt), Error);
+}
+
+TEST(SchedulerFuzz, RoundsEqualMaxPerDiskLoad) {
+  // Property: for any request batch, parallel ops == max per-disk count.
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const u32 disks = static_cast<u32>(1 + rng.below(16));
+    auto ctx = make_memory_context(disks, 64);
+    const usize nreq = static_cast<usize>(1 + rng.below(200));
+    std::vector<std::byte> buf(64);
+    std::vector<WriteReq> reqs;
+    std::vector<u64> per_disk(disks, 0);
+    for (usize i = 0; i < nreq; ++i) {
+      const u32 d = static_cast<u32>(rng.below(disks));
+      reqs.push_back(WriteReq{{d, per_disk[d]}, buf.data()});
+      ++per_disk[d];
+    }
+    const u64 rounds = ctx->io().write(reqs);
+    const u64 expect = *std::max_element(per_disk.begin(), per_disk.end());
+    EXPECT_EQ(rounds, expect);
+  }
+}
+
+TEST(KvIntegration, SevenPassWithPayloads) {
+  const auto g = Geometry::square(256);
+  auto ctx = make_memory_context(g.disks, g.rpb * sizeof(KV64));
+  Rng rng(7);
+  auto data = make_kv(static_cast<usize>(256 * 16 * 2), Dist::kUniform, rng);
+  auto in = test::stage_input<KV64>(*ctx, data);
+  SevenPassOptions opt;
+  opt.mem_records = 256;
+  auto res = seven_pass_sort<KV64>(*ctx, in, opt);
+  test::expect_key_sorted_permutation<KV64>(res.output, data);
+}
+
+TEST(KvIntegration, MeshWithPayloads) {
+  const auto g = Geometry::square(256);
+  auto ctx = make_memory_context(g.disks, g.rpb * sizeof(KV64));
+  Rng rng(8);
+  auto data = make_kv(static_cast<usize>(256 * 16), Dist::kUniform, rng);
+  auto in = test::stage_input<KV64>(*ctx, data);
+  ThreePassMeshOptions opt;
+  opt.mem_records = 256;
+  auto res = three_pass_mesh_sort<KV64>(*ctx, in, opt);
+  test::expect_key_sorted_permutation<KV64>(res.output, data);
+}
+
+TEST(KvIntegration, ColumnsortWithPayloads) {
+  const u64 mem = 1024;
+  const auto g = Geometry::square(mem);
+  auto ctx = make_memory_context(g.disks, g.rpb * sizeof(KV64));
+  const u64 n = max_columnsort_n(mem, g.rpb);
+  Rng rng(9);
+  auto data = make_kv(static_cast<usize>(n), Dist::kUniform, rng);
+  auto in = test::stage_input<KV64>(*ctx, data);
+  ColumnsortOptions opt;
+  opt.mem_records = mem;
+  auto res = columnsort_cc_sort<KV64>(*ctx, in, opt);
+  test::expect_key_sorted_permutation<KV64>(res.output, data);
+}
+
+}  // namespace
+}  // namespace pdm

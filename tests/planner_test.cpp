@@ -1,0 +1,113 @@
+// Tests for the adaptive planner (core/adaptive.h).
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "test_support.h"
+
+namespace pdm {
+namespace {
+
+using test::Geometry;
+
+TEST(Planner, TinyInputUsesInternalSort) {
+  auto e = choose_plan(200, 1024, 32, 1.0);
+  EXPECT_EQ(e.algo, Algo::kInternal);
+  EXPECT_EQ(e.expected_passes, 1.0);
+}
+
+TEST(Planner, WithinCap2UsesExpectedTwoPass) {
+  const u64 mem = 1024;
+  auto e = choose_plan(4 * mem, mem, 32, 1.0);
+  EXPECT_EQ(e.algo, Algo::kExpectedTwoPass);
+}
+
+TEST(Planner, BeyondCap2PrefersThreePassFamilies) {
+  const u64 mem = 1024;
+  const u64 n = 24 * mem;  // > cap2 (~6.8k records), <= M^1.5
+  auto e = choose_plan(n, mem, 32, 1.0);
+  // The planner prefers the paper's guaranteed-parallelism algorithms.
+  EXPECT_TRUE(e.algo == Algo::kExpectedThreePass ||
+              e.algo == Algo::kThreePassLmm);
+  EXPECT_LE(e.expected_passes, 3.0);
+}
+
+TEST(Planner, EveryOptionReportsCapacity) {
+  auto opts = plan_options(1u << 20, 1u << 12, 1u << 6, 1.0);
+  EXPECT_EQ(opts.size(), 8u);
+  for (const auto& o : opts) {
+    EXPECT_GT(o.capacity, 0u) << algo_name(o.algo);
+    EXPECT_GT(o.expected_passes, 0.0);
+    EXPECT_FALSE(o.note.empty());
+  }
+}
+
+TEST(Planner, InfeasibleShapesRejected) {
+  // N > M and not a multiple of B: nothing fits.
+  EXPECT_THROW(choose_plan(3001, 1024, 32, 1.0), Error);
+  // N <= M is always fine (internal sort), even unaligned.
+  EXPECT_EQ(choose_plan(1001, 1024, 32, 1.0).algo, Algo::kInternal);
+}
+
+TEST(Planner, ForcedAlgorithmIsUsed) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(2);
+  auto data = make_keys(4096, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  AdaptiveOptions opt;
+  opt.mem_records = 256;
+  opt.force = Algo::kThreePassMesh;
+  auto res = pdm_sort<u64>(*ctx, in, opt);
+  EXPECT_EQ(res.report.algorithm, "ThreePass1(mesh)");
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+TEST(Planner, DispatchesSevenPassForMSquared) {
+  const u64 mem = 256;
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(3);
+  auto data = make_keys(static_cast<usize>(mem * mem), Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  AdaptiveOptions opt;
+  opt.mem_records = mem;
+  auto res = pdm_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  // At N = M^2 only SevenPass fits among the guaranteed algorithms.
+  EXPECT_EQ(res.report.algorithm, "SevenPass");
+  EXPECT_LE(res.report.passes, 7.5);
+}
+
+TEST(Planner, InternalSortPath) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(4);
+  auto data = make_keys(128, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  AdaptiveOptions opt;
+  opt.mem_records = 256;
+  auto res = pdm_sort<u64>(*ctx, in, opt);
+  EXPECT_EQ(res.report.algorithm, "InternalSort");
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+TEST(Planner, CapacitiesOrderedByPassBudget) {
+  // More passes => more capacity (at fixed M, B, alpha).
+  const u64 mem = 1u << 16;
+  const u64 b = 1u << 8;
+  const double a = 1.0;
+  auto opts = plan_options(mem * 4, mem, b, a);
+  u64 cap2 = 0, cap3 = 0, cap6 = 0, cap7 = 0;
+  for (const auto& o : opts) {
+    if (o.algo == Algo::kExpectedTwoPass) cap2 = o.capacity;
+    if (o.algo == Algo::kThreePassLmm) cap3 = o.capacity;
+    if (o.algo == Algo::kExpectedSixPass) cap6 = o.capacity;
+    if (o.algo == Algo::kSevenPass) cap7 = o.capacity;
+  }
+  EXPECT_LT(cap2, cap3);
+  EXPECT_LT(cap3, cap6);
+  EXPECT_LT(cap6, cap7);
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,464 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "primitives/cleanup.h"
+#include "primitives/lmm_merge.h"
+#include "primitives/multiway.h"
+#include "primitives/run_formation.h"
+#include "test_support.h"
+
+namespace pdm {
+namespace {
+
+using test::Geometry;
+
+// --------------------------------------------------------- run formation
+
+TEST(RunFormation, RunsAreSortedAndCoverInput) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(1);
+  auto data = make_keys(1024, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  RunFormationOptions opt;
+  opt.run_len = 256;
+  auto runs = form_runs_flat<u64>(*ctx, in, opt);
+  ASSERT_EQ(runs.size(), 4u);
+  std::vector<u64> all;
+  for (auto& r : runs) {
+    auto v = r.read_all();
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+    EXPECT_EQ(v.size(), 256u);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::sort(data.begin(), data.end());
+  EXPECT_EQ(all, data);
+}
+
+TEST(RunFormation, ExactlyOnePass) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(2);
+  auto data = make_keys(4096, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  RunFormationOptions opt;
+  opt.run_len = 256;
+  (void)form_runs_flat<u64>(*ctx, in, opt);
+  const auto& s = ctx->stats();
+  const double per_pass = 4096.0 / (g.rpb * g.disks);
+  EXPECT_EQ(s.read_ops, static_cast<u64>(per_pass));
+  EXPECT_EQ(s.write_ops, static_cast<u64>(per_pass));
+  EXPECT_NEAR(s.utilization(), g.disks, 0.01);
+}
+
+TEST(RunFormation, UnshuffledPartsAreSortedDecimations) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(3);
+  auto data = make_keys(512, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  RunFormationOptions opt;
+  opt.run_len = 256;
+  opt.unshuffle_parts = 16;  // M/B
+  auto parts = form_sorted_runs<u64>(*ctx, in, opt);
+  ASSERT_EQ(parts.size(), 2u);
+  for (usize i = 0; i < 2; ++i) {
+    ASSERT_EQ(parts[i].size(), 16u);
+    // Reconstruct the sorted run from its decimations.
+    std::vector<u64> sorted_run(256);
+    for (usize j = 0; j < 16; ++j) {
+      auto pj = parts[i][j].read_all();
+      ASSERT_EQ(pj.size(), 16u);
+      EXPECT_TRUE(std::is_sorted(pj.begin(), pj.end()));
+      for (usize t = 0; t < 16; ++t) sorted_run[t * 16 + j] = pj[t];
+    }
+    EXPECT_TRUE(std::is_sorted(sorted_run.begin(), sorted_run.end()));
+    std::vector<u64> expect(data.begin() + static_cast<std::ptrdiff_t>(i * 256),
+                            data.begin() +
+                                static_cast<std::ptrdiff_t>((i + 1) * 256));
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(sorted_run, expect);
+  }
+}
+
+TEST(RunFormation, RangeRestriction) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(4);
+  auto data = make_keys(1024, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  RunFormationOptions opt;
+  opt.run_len = 256;
+  opt.first_record = 256;
+  opt.num_records = 512;
+  auto runs = form_runs_flat<u64>(*ctx, in, opt);
+  ASSERT_EQ(runs.size(), 2u);
+  std::vector<u64> all;
+  for (auto& r : runs) {
+    auto v = r.read_all();
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<u64> expect(data.begin() + 256, data.begin() + 768);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(all, expect);
+}
+
+TEST(RunFormation, RaggedFinalRun) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(5);
+  auto data = make_keys(256 + 64, Dist::kUniform, rng);  // 1.25 runs
+  auto in = test::stage_input<u64>(*ctx, data);
+  RunFormationOptions opt;
+  opt.run_len = 256;
+  auto runs = form_runs_flat<u64>(*ctx, in, opt);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[1].size(), 64u);
+  const auto tail = runs[1].read_all();
+  EXPECT_TRUE(std::is_sorted(tail.begin(), tail.end()));
+}
+
+// --------------------------------------------------------------- cleanup
+
+// A synthetic chunk source serving a fixed vector in fixed-size chunks.
+class VectorChunkSource final : public ChunkSource<u64> {
+ public:
+  VectorChunkSource(std::vector<u64> data, usize chunk)
+      : data_(std::move(data)), chunk_(chunk) {}
+
+  usize next_chunk(u64* dst, usize cap) override {
+    PDM_CHECK(cap >= chunk_, "cap");
+    const usize n = std::min(chunk_, data_.size() - pos_);
+    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n), dst);
+    pos_ += n;
+    return n;
+  }
+  usize chunk_records() const override { return chunk_; }
+  bool exhausted() const override { return pos_ >= data_.size(); }
+  u64 total_records() const override { return data_.size(); }
+
+ private:
+  std::vector<u64> data_;
+  usize chunk_;
+  usize pos_ = 0;
+};
+
+class VectorSink final : public Sink<u64> {
+ public:
+  void push(std::span<const u64> recs) override {
+    out.insert(out.end(), recs.begin(), recs.end());
+  }
+  void close() override { closed = true; }
+  std::vector<u64> out;
+  bool closed = false;
+};
+
+// Any sequence where every element is within `chunk` of its sorted
+// position must be fully sorted by the streamed cleanup.
+TEST(Cleanup, SortsBoundedDisplacementInputs) {
+  Rng rng(6);
+  auto ctx = make_memory_context(4, 16 * sizeof(u64));
+  for (int trial = 0; trial < 20; ++trial) {
+    const usize n = 1024;
+    const usize chunk = 64;
+    // Build a displaced sequence: sorted + local shuffles within blocks of
+    // `chunk` records (displacement < chunk).
+    std::vector<u64> v(n);
+    std::iota(v.begin(), v.end(), u64{0});
+    for (usize b = 0; b < n; b += chunk) {
+      std::span<u64> blockspan(v.data() + b, chunk);
+      for (usize i = chunk; i > 1; --i) {
+        std::swap(blockspan[i - 1],
+                  blockspan[static_cast<usize>(rng.below(i))]);
+      }
+    }
+    VectorChunkSource src(v, chunk);
+    VectorSink sink;
+    CleanupOptions opt;
+    opt.chunk_records = chunk;
+    auto oc = streamed_cleanup<u64>(*ctx, src, sink, opt);
+    EXPECT_TRUE(oc.ok);
+    EXPECT_TRUE(sink.closed);
+    EXPECT_TRUE(std::is_sorted(sink.out.begin(), sink.out.end()));
+    EXPECT_EQ(sink.out.size(), n);
+  }
+}
+
+TEST(Cleanup, CrossChunkDisplacementWithinBoundSorts) {
+  // An element displaced by exactly chunk-1 across a boundary.
+  const usize chunk = 32;
+  std::vector<u64> v(256);
+  std::iota(v.begin(), v.end(), u64{0});
+  std::swap(v[40], v[40 + chunk - 1]);
+  auto ctx = make_memory_context(2, 16 * sizeof(u64));
+  VectorChunkSource src(v, chunk);
+  VectorSink sink;
+  CleanupOptions opt;
+  opt.chunk_records = chunk;
+  auto oc = streamed_cleanup<u64>(*ctx, src, sink, opt);
+  EXPECT_TRUE(oc.ok);
+  EXPECT_TRUE(std::is_sorted(sink.out.begin(), sink.out.end()));
+}
+
+TEST(Cleanup, DetectsViolationAndAborts) {
+  // Move the global minimum to the end: displacement ~n >> chunk.
+  const usize chunk = 32;
+  std::vector<u64> v(256);
+  std::iota(v.begin(), v.end(), u64{1});
+  v.back() = 0;
+  auto ctx = make_memory_context(2, 16 * sizeof(u64));
+  VectorChunkSource src(v, chunk);
+  VectorSink sink;
+  CleanupOptions opt;
+  opt.chunk_records = chunk;
+  opt.abort_on_violation = true;
+  auto oc = streamed_cleanup<u64>(*ctx, src, sink, opt);
+  EXPECT_FALSE(oc.ok);
+  EXPECT_LT(sink.out.size(), v.size());  // aborted early
+}
+
+TEST(Cleanup, ViolationWithoutAbortStillReportsNotOk) {
+  const usize chunk = 32;
+  std::vector<u64> v(256);
+  std::iota(v.begin(), v.end(), u64{1});
+  v.back() = 0;
+  auto ctx = make_memory_context(2, 16 * sizeof(u64));
+  VectorChunkSource src(v, chunk);
+  VectorSink sink;
+  CleanupOptions opt;
+  opt.chunk_records = chunk;
+  opt.abort_on_violation = false;
+  auto oc = streamed_cleanup<u64>(*ctx, src, sink, opt);
+  EXPECT_FALSE(oc.ok);
+  EXPECT_EQ(sink.out.size(), v.size());  // completed anyway
+}
+
+TEST(Cleanup, SingleChunkInputJustSorts) {
+  std::vector<u64> v{5, 3, 1, 4, 2};
+  auto ctx = make_memory_context(2, 16 * sizeof(u64));
+  VectorChunkSource src(v, 8);
+  VectorSink sink;
+  CleanupOptions opt;
+  opt.chunk_records = 8;
+  auto oc = streamed_cleanup<u64>(*ctx, src, sink, opt);
+  EXPECT_TRUE(oc.ok);
+  EXPECT_EQ(sink.out, (std::vector<u64>{1, 2, 3, 4, 5}));
+}
+
+// ---------------------------------------------------- shuffle chunk source
+
+TEST(ShuffleChunkSource, DeliversAllRecordsOnce) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(7);
+  auto data = make_keys(1024, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  RunFormationOptions opt;
+  opt.run_len = 256;
+  auto runs = form_runs_flat<u64>(*ctx, in, opt);
+  ShuffleChunkSource<u64> src(
+      *ctx, std::span<const StripedRun<u64>>(runs.data(), runs.size()), 256);
+  std::vector<u64> got;
+  std::vector<u64> buf(256);
+  while (!src.exhausted()) {
+    const usize n = src.next_chunk(buf.data(), buf.size());
+    got.insert(got.end(), buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  EXPECT_EQ(got.size(), data.size());
+  std::sort(got.begin(), got.end());
+  std::sort(data.begin(), data.end());
+  EXPECT_EQ(got, data);
+}
+
+TEST(ShuffleChunkSource, HandlesRaggedTails) {
+  auto ctx = make_memory_context(2, 8 * sizeof(u64));
+  std::vector<u64> a(20, 1), b(20, 2);  // 2.5 blocks each
+  auto ra = write_input_run<u64>(*ctx, std::span<const u64>(a), 0);
+  auto rb = write_input_run<u64>(*ctx, std::span<const u64>(b), 1);
+  std::vector<StripedRun<u64>> runs;
+  runs.push_back(std::move(ra));
+  runs.push_back(std::move(rb));
+  ShuffleChunkSource<u64> src(
+      *ctx, std::span<const StripedRun<u64>>(runs.data(), 2), 16);
+  std::vector<u64> got;
+  std::vector<u64> buf(16);
+  while (!src.exhausted()) {
+    const usize n = src.next_chunk(buf.data(), 16);
+    got.insert(got.end(), buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  EXPECT_EQ(got.size(), 40u);
+  EXPECT_EQ(std::count(got.begin(), got.end(), 1u), 20);
+  EXPECT_EQ(std::count(got.begin(), got.end(), 2u), 20);
+}
+
+// ------------------------------------------------------------- unshuffle
+
+TEST(UnshuffleSink, SplitsStrideM) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  std::vector<StripedRun<u64>> parts;
+  for (u32 j = 0; j < 4; ++j) parts.emplace_back(*ctx, j);
+  {
+    UnshuffleSink<u64> sink(*ctx, std::span<StripedRun<u64>>(parts.data(), 4));
+    std::vector<u64> stream(256);
+    std::iota(stream.begin(), stream.end(), u64{0});
+    sink.push(std::span<const u64>(stream.data(), 100));
+    sink.push(std::span<const u64>(stream.data() + 100, 156));
+    sink.close();
+  }
+  for (u32 j = 0; j < 4; ++j) {
+    auto v = parts[j].read_all();
+    ASSERT_EQ(v.size(), 64u);
+    for (usize t = 0; t < v.size(); ++t) EXPECT_EQ(v[t], t * 4 + j);
+  }
+}
+
+// -------------------------------------------------------------- lmm merge
+
+class LmmMergeParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LmmMergeParam, MergesSortedRuns) {
+  const int l = std::get<0>(GetParam());
+  const int run_blocks = std::get<1>(GetParam());
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(static_cast<u64>(l * 100 + run_blocks));
+  const u64 run_len = static_cast<u64>(run_blocks) * g.rpb;
+  std::vector<StripedRun<u64>> runs;
+  std::vector<u64> all;
+  for (int i = 0; i < l; ++i) {
+    auto v = make_keys(static_cast<usize>(run_len), Dist::kUniform, rng);
+    std::sort(v.begin(), v.end());
+    runs.push_back(
+        write_input_run<u64>(*ctx, std::span<const u64>(v), static_cast<u32>(i)));
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  StripedRun<u64> out(*ctx, 0);
+  RunSink<u64> sink(out);
+  LmmOptions opt;
+  opt.mem_records = 256;
+  auto oc = lmm_merge<u64>(
+      *ctx, std::span<const StripedRun<u64>>(runs.data(), runs.size()), sink,
+      opt);
+  EXPECT_TRUE(oc.ok);
+  EXPECT_EQ(out.read_all(), all);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LmmMergeParam,
+    ::testing::Values(std::make_tuple(2, 16), std::make_tuple(4, 16),
+                      std::make_tuple(8, 16), std::make_tuple(16, 16),
+                      std::make_tuple(2, 8), std::make_tuple(4, 4),
+                      std::make_tuple(3, 12), std::make_tuple(1, 16)));
+
+TEST(LmmMerge, ThreePassesAtFullShape) {
+  // l = B = 16 runs of length M: the Lemma 4.1 shape; pass count must be 3
+  // excluding the run formation (which the full sorter counts).
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(11);
+  std::vector<StripedRun<u64>> runs;
+  const u64 n = 16 * 256;
+  for (int i = 0; i < 16; ++i) {
+    auto v = make_keys(256, Dist::kUniform, rng);
+    std::sort(v.begin(), v.end());
+    runs.push_back(
+        write_input_run<u64>(*ctx, std::span<const u64>(v), static_cast<u32>(i)));
+  }
+  ctx->io().reset_stats();
+  StripedRun<u64> out(*ctx, 0);
+  RunSink<u64> sink(out);
+  LmmOptions opt;
+  opt.mem_records = 256;
+  auto oc = lmm_merge<u64>(
+      *ctx, std::span<const StripedRun<u64>>(runs.data(), runs.size()), sink,
+      opt);
+  EXPECT_TRUE(oc.ok);
+  const double passes = ctx->stats().passes(n, g.rpb, g.disks);
+  EXPECT_NEAR(passes, 3.0, 0.1);
+}
+
+TEST(LmmMerge, RejectsUnequalRuns) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  std::vector<u64> a(256, 1), b(128, 2);
+  std::vector<StripedRun<u64>> runs;
+  runs.push_back(write_input_run<u64>(*ctx, std::span<const u64>(a)));
+  runs.push_back(write_input_run<u64>(*ctx, std::span<const u64>(b)));
+  StripedRun<u64> out(*ctx, 0);
+  RunSink<u64> sink(out);
+  LmmOptions opt;
+  opt.mem_records = 256;
+  EXPECT_THROW(lmm_merge<u64>(*ctx,
+                              std::span<const StripedRun<u64>>(runs.data(), 2),
+                              sink, opt),
+               Error);
+}
+
+// --------------------------------------------------------------- multiway
+
+class MultiwayParam : public ::testing::TestWithParam<usize> {};
+
+TEST_P(MultiwayParam, MergePassCorrectAtAnyLookahead) {
+  const usize lookahead = GetParam();
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(lookahead + 77);
+  std::vector<StripedRun<u64>> runs;
+  std::vector<u64> all;
+  for (int i = 0; i < 6; ++i) {
+    auto v = make_keys(320, Dist::kUniform, rng);
+    std::sort(v.begin(), v.end());
+    runs.push_back(
+        write_input_run<u64>(*ctx, std::span<const u64>(v), static_cast<u32>(i)));
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  StripedRun<u64> out(*ctx, 0);
+  RunSink<u64> sink(out);
+  MergePassOptions opt;
+  opt.mem_records = 1024;  // room for the larger lookahead pools
+  opt.lookahead = lookahead;
+  multiway_merge_pass<u64>(
+      *ctx, std::span<const StripedRun<u64>>(runs.data(), runs.size()), sink,
+      opt);
+  EXPECT_EQ(out.read_all(), all);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lookaheads, MultiwayParam,
+                         ::testing::Values(0, 1, 2, 4));
+
+TEST(Multiway, NaiveLookaheadHasLowUtilization) {
+  const auto g = Geometry::square(1024);  // D = 8
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(5);
+  std::vector<StripedRun<u64>> runs;
+  for (int i = 0; i < 8; ++i) {
+    auto v = make_keys(2048, Dist::kUniform, rng);
+    std::sort(v.begin(), v.end());
+    runs.push_back(
+        write_input_run<u64>(*ctx, std::span<const u64>(v), static_cast<u32>(i)));
+  }
+  ctx->io().reset_stats();
+  StripedRun<u64> out(*ctx, 0);
+  RunSink<u64> sink(out);
+  MergePassOptions opt;
+  opt.mem_records = 1024;
+  opt.lookahead = 0;
+  multiway_merge_pass<u64>(
+      *ctx, std::span<const StripedRun<u64>>(runs.data(), runs.size()), sink,
+      opt);
+  // Demand paging: most reads are synchronous single-block fetches.
+  const auto& s = ctx->stats();
+  const double read_util =
+      static_cast<double>(s.blocks_read) / static_cast<double>(s.read_ops);
+  EXPECT_LT(read_util, 2.5) << "naive merge should not parallelize reads";
+}
+
+}  // namespace
+}  // namespace pdm

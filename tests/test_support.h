@@ -1,0 +1,87 @@
+// Shared helpers for the pdmsort test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/sort_report.h"
+#include "pdm/pdm_context.h"
+#include "pdm/striped_run.h"
+#include "util/generators.h"
+
+namespace pdm::test {
+
+/// Standard test geometry: square M, B = sqrt(M), D = sqrt(M)/C.
+struct Geometry {
+  u64 mem;   // M in records
+  u64 rpb;   // B in records
+  u32 disks; // D
+
+  static Geometry square(u64 mem, u32 c = 4) {
+    const u64 s = isqrt(mem);
+    PDM_CHECK(s * s == mem, "square geometry needs M a perfect square");
+    return Geometry{mem, s, static_cast<u32>(std::max<u64>(1, s / c))};
+  }
+};
+
+template <Record R>
+std::unique_ptr<PdmContext> make_ctx(const Geometry& g, u64 seed = 1) {
+  return make_memory_context(g.disks, g.rpb * sizeof(R), seed);
+}
+
+/// Stages input on disk and zeroes the stats so the sorter's I/O is
+/// measured in isolation.
+template <Record R>
+StripedRun<R> stage_input(PdmContext& ctx, const std::vector<R>& data) {
+  auto run = write_input_run<R>(ctx, std::span<const R>(data));
+  ctx.io().reset_stats();
+  return run;
+}
+
+/// Asserts the run's content equals std::sort of `input` under <.
+template <Record R>
+void expect_sorted_output(const StripedRun<R>& out,
+                          std::vector<R> input) {
+  ASSERT_EQ(out.size(), input.size());
+  std::sort(input.begin(), input.end());
+  auto got = out.read_all();
+  ASSERT_EQ(got.size(), input.size());
+  for (usize i = 0; i < input.size(); ++i) {
+    ASSERT_EQ(got[i], input[i]) << "mismatch at position " << i;
+  }
+}
+
+/// Asserts only key order (for KV records where equal keys may permute).
+template <Record R>
+void expect_key_sorted_permutation(const StripedRun<R>& out,
+                                   std::vector<R> input) {
+  ASSERT_EQ(out.size(), input.size());
+  auto got = out.read_all();
+  auto key_of = [](const R& r) { return record_key(r); };
+  for (usize i = 1; i < got.size(); ++i) {
+    ASSERT_LE(key_of(got[i - 1]), key_of(got[i])) << "disorder at " << i;
+  }
+  // Same multiset of records.
+  auto full_less = [](const R& a, const R& b) {
+    return std::memcmp(&a, &b, sizeof(R)) < 0;
+  };
+  std::sort(got.begin(), got.end(), full_less);
+  std::sort(input.begin(), input.end(), full_less);
+  for (usize i = 0; i < input.size(); ++i) {
+    ASSERT_TRUE(std::memcmp(&got[i], &input[i], sizeof(R)) == 0)
+        << "multiset mismatch at " << i;
+  }
+}
+
+inline void expect_passes_near(const SortReport& r, double expected,
+                               double tol = 0.15) {
+  EXPECT_NEAR(r.passes, expected, tol)
+      << r.algorithm << ": reads=" << r.io.read_ops
+      << " writes=" << r.io.write_ops << " util=" << r.utilization;
+}
+
+}  // namespace pdm::test

@@ -1,0 +1,209 @@
+// Tests for the theory module: sorting networks, the classical and
+// generalized 0-1 principles (Theorem 3.3), and the shuffling lemma
+// (Lemma 4.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "theory/network.h"
+#include "theory/shuffling_lemma.h"
+#include "theory/zero_one.h"
+
+namespace pdm::theory {
+namespace {
+
+class SortingNetworks : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SortingNetworks, BatcherSortsAllBinary) {
+  const u32 n = GetParam();
+  auto net = batcher_sort(n);
+  auto rep = test_all_binary(net);
+  EXPECT_TRUE(rep.sorts_all) << "n=" << n << " failures=" << rep.failures;
+  EXPECT_EQ(rep.tested, u64{1} << n);
+}
+
+TEST_P(SortingNetworks, BitonicSortsAllBinary) {
+  const u32 n = GetParam();
+  auto net = bitonic_sort(n);
+  auto rep = test_all_binary(net);
+  EXPECT_TRUE(rep.sorts_all) << "n=" << n;
+}
+
+TEST_P(SortingNetworks, OddEvenTranspositionFullRoundsSorts) {
+  const u32 n = GetParam();
+  auto net = odd_even_transposition(n, n);
+  auto rep = test_all_binary(net);
+  EXPECT_TRUE(rep.sorts_all) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortingNetworks,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(SortingNetworks, BatcherSortsPermutations) {
+  Rng rng(1);
+  auto net = batcher_sort(16);
+  EXPECT_EQ(permutation_success_rate(net, 200, rng), 1.0);
+}
+
+TEST(SortingNetworks, TruncatedBatcherFailsSomeBinary) {
+  auto net = batcher_sort(16);
+  auto cut = net.truncated(net.num_ops() * 2 / 3);
+  auto rep = test_all_binary(cut);
+  EXPECT_FALSE(rep.sorts_all);
+  EXPECT_GT(rep.failures, 0u);
+}
+
+TEST(SortingNetworks, ShearsortFullIterationsSortsSnake) {
+  // Shearsort needs ceil(log2(rows)) + 1 iterations; 4x4 keeps the
+  // exhaustive binary sweep at 2^16 inputs.
+  const u32 rows = 4, cols = 4;
+  auto net = shearsort(rows, cols, 3);
+  auto order = snake_order(rows, cols);
+  auto rep = test_all_binary(net, std::span<const u32>(order));
+  EXPECT_TRUE(rep.sorts_all) << rep.failures;
+}
+
+TEST(SortingNetworks, ShearsortOneIterationDoesNot) {
+  const u32 rows = 4, cols = 4;
+  auto net = shearsort(rows, cols, 1);
+  auto order = snake_order(rows, cols);
+  auto rep = test_all_binary(net, std::span<const u32>(order));
+  EXPECT_FALSE(rep.sorts_all);
+  // ...but it already sorts the majority of binary inputs — the
+  // "sorts most inputs" regime of Theorem 3.3 (~73% at one iteration).
+  const double frac_ok =
+      1.0 - static_cast<double>(rep.failures) / static_cast<double>(rep.tested);
+  EXPECT_GT(frac_ok, 0.5);
+}
+
+TEST(SortingNetworks, SnakeOrderShape) {
+  auto o = snake_order(2, 3);
+  EXPECT_EQ(o, (std::vector<u32>{0, 1, 2, 5, 4, 3}));
+}
+
+TEST(SortingNetworks, ColumnsortNetworkSortsWithinConstraint) {
+  // Leighton: correct iff r >= 2(c-1)^2. Exhaustive 0-1 for small c = 2
+  // shapes; the c = 3 boundary shape (r = 8: 8 >= 2*4) by per-k sampling
+  // plus permutations (2^24 exhaustive is too slow for a unit test).
+  for (auto [r, c] : {std::pair<u32, u32>{2, 2}, {8, 2}}) {
+    ASSERT_GE(r, 2u * (c - 1) * (c - 1));
+    auto net = columnsort_network(r, c);
+    auto rep = test_all_binary(net);
+    EXPECT_TRUE(rep.sorts_all) << "r=" << r << " c=" << c;
+  }
+  Rng rng(19);
+  auto net = columnsort_network(8, 3);
+  auto per_k = estimate_alpha_per_k(net, 500, rng, {}, 1u << 14);
+  EXPECT_EQ(per_k.min_alpha, 1.0);
+  EXPECT_EQ(permutation_success_rate(net, 500, rng), 1.0);
+}
+
+TEST(SortingNetworks, ColumnsortConstraintIsNearlyTight) {
+  // Push r below 2(c-1)^2: the network must fail — this boundary is what
+  // caps columnsort's capacity at M*sqrt(M/2) (Observation 4.1) and
+  // motivates the paper's LMM-based alternative.
+  auto net = columnsort_network(4, 4);  // needs r >= 18, has 4
+  auto rep = test_all_binary(net);
+  EXPECT_FALSE(rep.sorts_all);
+  EXPECT_GT(rep.failures, 0u);
+}
+
+// ------------------------------------------------- generalized 0-1 bound
+
+TEST(GeneralizedZeroOne, BoundIsTightDirectionally) {
+  // For a full sorting network alpha = 1 and the bound is 1.
+  EXPECT_EQ(generalized_zero_one_bound(1.0, 16), 1.0);
+  // Bound degrades linearly in (1 - alpha) with slope n+1.
+  EXPECT_NEAR(generalized_zero_one_bound(1.0 - 0.001, 9), 0.99, 1e-9);
+  EXPECT_EQ(generalized_zero_one_bound(0.5, 16), 0.0);  // clamped
+}
+
+TEST(GeneralizedZeroOne, PermutationRateRespectsBound) {
+  // Theorem 3.3: permutation success >= 1 - (1-min_alpha)(n+1). Check on
+  // truncated odd-even transposition networks of several depths.
+  Rng rng(7);
+  const u32 n = 12;
+  for (u32 rounds : {8u, 10u, 11u, 12u}) {
+    auto net = odd_even_transposition(n, rounds);
+    auto per_k = estimate_alpha_per_k(net, 0, rng);  // exhaustive: n small
+    ASSERT_TRUE(per_k.exhaustive);
+    const double bound = generalized_zero_one_bound(per_k.min_alpha, n);
+    const double rate = permutation_success_rate(net, 4000, rng);
+    EXPECT_GE(rate + 0.02, bound)
+        << "rounds=" << rounds << " alpha=" << per_k.min_alpha;
+  }
+}
+
+TEST(GeneralizedZeroOne, FullNetworkHasAlphaOne) {
+  Rng rng(3);
+  auto net = batcher_sort(16);
+  auto per_k = estimate_alpha_per_k(net, 0, rng);
+  EXPECT_EQ(per_k.min_alpha, 1.0);
+}
+
+TEST(GeneralizedZeroOne, CorollaryZeroAlphaKillsEverything) {
+  // Appendix corollary: a circuit failing ALL of some S_k sorts no
+  // permutation. Build a "network" that reverses instead of sorting:
+  // it fails every nontrivial k.
+  const u32 n = 8;
+  BlockSortNetwork net(n);
+  std::vector<u32> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  net.add_sort(idx, /*descending=*/true);
+  Rng rng(5);
+  auto per_k = estimate_alpha_per_k(net, 0, rng);
+  EXPECT_EQ(per_k.min_alpha, 0.0);
+  EXPECT_EQ(permutation_success_rate(net, 500, rng), 0.0);
+}
+
+TEST(GeneralizedZeroOne, SampledKStringsHaveExactlyKZeros) {
+  Rng rng(9);
+  for (u32 k : {0u, 1u, 7u, 15u, 16u}) {
+    auto s = sample_k_string(16, k, rng);
+    EXPECT_EQ(static_cast<u32>(std::count(s.begin(), s.end(), 0)), k);
+  }
+}
+
+// ---------------------------------------------------------- shuffling
+
+TEST(ShufflingLemma, BoundHoldsOverManyTrials) {
+  Rng rng(11);
+  for (u64 q : {64ull, 256ull}) {
+    auto agg = shuffling_trials(4096, q, 1.0, 50, rng);
+    EXPECT_EQ(agg.violations, 0u)
+        << "q=" << q << " worst=" << agg.worst.max_displacement
+        << " bound=" << agg.worst.bound;
+  }
+}
+
+TEST(ShufflingLemma, DisplacementShrinksWithLargerQ) {
+  Rng rng(13);
+  auto small_q = shuffling_trials(8192, 64, 1.0, 20, rng);
+  auto large_q = shuffling_trials(8192, 1024, 1.0, 20, rng);
+  EXPECT_LT(large_q.worst.max_displacement, small_q.worst.max_displacement);
+}
+
+TEST(ShufflingLemma, BoundFormula) {
+  // bound = n/sqrt(q) * sqrt((alpha+2) ln n + 1) + n/q.
+  const double b = shuffling_bound(1 << 16, 1 << 8, 1.0);
+  const double expect = 65536.0 / 16.0 *
+                            std::sqrt(3.0 * std::log(65536.0) + 1.0) +
+                        65536.0 / 256.0;
+  EXPECT_NEAR(b, expect, 1e-9);
+}
+
+TEST(ShufflingLemma, MeanWellBelowMax) {
+  Rng rng(17);
+  auto r = shuffling_experiment(16384, 256, 1.0, rng);
+  EXPECT_LT(r.mean_displacement, static_cast<double>(r.max_displacement));
+  EXPECT_GT(r.max_displacement, 0u);
+}
+
+TEST(ShufflingLemma, RejectsBadQ) {
+  Rng rng(19);
+  EXPECT_THROW(shuffling_experiment(100, 33, 1.0, rng), Error);
+}
+
+}  // namespace
+}  // namespace pdm::theory

@@ -1,0 +1,257 @@
+// Deep tests for the two deterministic three-pass sorts (Theorem 3.1 and
+// Lemma 4.1): multiple geometries, all input distributions, 0-1 stress
+// patterns aimed at the dirty-band arguments, and exact pass counts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/three_pass_lmm.h"
+#include "core/three_pass_mesh.h"
+#include "test_support.h"
+
+namespace pdm {
+namespace {
+
+using test::Geometry;
+
+struct Case {
+  u64 mem;
+  Dist dist;
+};
+
+class ThreePassBoth : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ThreePassBoth, LmmSortsAtCapacity) {
+  const auto [mem, dist] = GetParam();
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(mem * 7 + static_cast<u64>(dist));
+  const u64 n = mem * isqrt(mem);
+  auto data = make_keys(static_cast<usize>(n), dist, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassLmmOptions opt;
+  opt.mem_records = mem;
+  auto res = three_pass_lmm_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  test::expect_passes_near(res.report, 3.0);
+}
+
+TEST_P(ThreePassBoth, MeshSortsAtCapacity) {
+  const auto [mem, dist] = GetParam();
+  const auto g = Geometry::square(mem);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(mem * 13 + static_cast<u64>(dist));
+  const u64 n = mem * isqrt(mem);
+  auto data = make_keys(static_cast<usize>(n), dist, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassMeshOptions opt;
+  opt.mem_records = mem;
+  auto res = three_pass_mesh_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+  test::expect_passes_near(res.report, 3.0);
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string s = "M" + std::to_string(info.param.mem) + "_" +
+                  dist_name(info.param.dist);
+  std::replace(s.begin(), s.end(), '-', '_');
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ThreePassBoth,
+    ::testing::Values(Case{64, Dist::kUniform}, Case{64, Dist::kSorted},
+                      Case{64, Dist::kReverse}, Case{64, Dist::kAllEqual},
+                      Case{256, Dist::kUniform}, Case{256, Dist::kPermutation},
+                      Case{256, Dist::kSorted}, Case{256, Dist::kReverse},
+                      Case{256, Dist::kFewDistinct}, Case{256, Dist::kZipf},
+                      Case{256, Dist::kAllEqual},
+                      Case{256, Dist::kNearlySorted},
+                      Case{1024, Dist::kUniform}, Case{1024, Dist::kZipf},
+                      Case{1024, Dist::kReverse}),
+    case_name);
+
+// 0-1 stress: the mesh proof is a dirty-band argument over binary inputs.
+// Sweep structured binary patterns that maximize the dirty band.
+class MeshZeroOne : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshZeroOne, StructuredBinaryPatterns) {
+  const int pattern = GetParam();
+  const u64 mem = 256;
+  const u64 s = 16;
+  const u64 n = mem * s;  // 4096
+  const auto g = Geometry::square(mem);
+  Rng rng(static_cast<u64>(pattern) * 31 + 5);
+  std::vector<u64> data(static_cast<usize>(n));
+  switch (pattern) {
+    case 0:  // alternating
+      for (usize i = 0; i < n; ++i) data[i] = i % 2;
+      break;
+    case 1:  // ones block first (max displacement for 0-1)
+      data = make_ones_block_first(n, n / 2);
+      break;
+    case 2:  // each row constant, rows alternating
+      for (usize i = 0; i < n; ++i) data[i] = (i / s) % 2;
+      break;
+    case 3:  // random binary, p = 1/2
+      for (auto& x : data) x = rng.below(2);
+      break;
+    case 4:  // random binary, sparse ones
+      for (auto& x : data) x = rng.below(16) == 0 ? 1 : 0;
+      break;
+    case 5:  // random binary, sparse zeros
+      for (auto& x : data) x = rng.below(16) == 0 ? 0 : 1;
+      break;
+    case 6:  // descending ramp of 8 values (stresses ties + band)
+      for (usize i = 0; i < n; ++i) data[i] = 7 - (i * 8) / n;
+      break;
+    default:  // single one at front / back
+      data.assign(n, pattern == 7 ? 0 : 1);
+      data[pattern == 7 ? 0 : n - 1] = pattern == 7 ? 1 : 0;
+      break;
+  }
+  auto ctx = test::make_ctx<u64>(g);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassMeshOptions opt;
+  opt.mem_records = mem;
+  auto res = three_pass_mesh_sort<u64>(*ctx, in, opt);
+  test::expect_sorted_output<u64>(res.output, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, MeshZeroOne, ::testing::Range(0, 9));
+
+TEST(ThreePassLmm, ManyRandomSeeds) {
+  const u64 mem = 64;  // s = 8: tiny, so run many seeds
+  const auto g = Geometry::square(mem);
+  for (u64 seed = 0; seed < 25; ++seed) {
+    auto ctx = test::make_ctx<u64>(g, seed + 1);
+    Rng rng(seed);
+    auto data = make_keys(static_cast<usize>(mem * 8), Dist::kUniform, rng);
+    auto in = test::stage_input<u64>(*ctx, data);
+    ThreePassLmmOptions opt;
+    opt.mem_records = mem;
+    auto res = three_pass_lmm_sort<u64>(*ctx, in, opt);
+    test::expect_sorted_output<u64>(res.output, data);
+  }
+}
+
+TEST(ThreePassMesh, ManyRandomSeeds) {
+  const u64 mem = 64;
+  const auto g = Geometry::square(mem);
+  for (u64 seed = 0; seed < 25; ++seed) {
+    auto ctx = test::make_ctx<u64>(g, seed + 1);
+    Rng rng(seed + 1000);
+    auto data = make_keys(static_cast<usize>(mem * 8), Dist::kUniform, rng);
+    auto in = test::stage_input<u64>(*ctx, data);
+    ThreePassMeshOptions opt;
+    opt.mem_records = mem;
+    auto res = three_pass_mesh_sort<u64>(*ctx, in, opt);
+    test::expect_sorted_output<u64>(res.output, data);
+  }
+}
+
+TEST(ThreePassLmm, BelowCapacityMultiplesOfM) {
+  const auto g = Geometry::square(256);
+  for (u64 l : {1ull, 2ull, 5ull, 9ull, 16ull}) {
+    auto ctx = test::make_ctx<u64>(g, l);
+    Rng rng(l);
+    auto data = make_keys(static_cast<usize>(l * 256), Dist::kUniform, rng);
+    auto in = test::stage_input<u64>(*ctx, data);
+    ThreePassLmmOptions opt;
+    opt.mem_records = 256;
+    auto res = three_pass_lmm_sort<u64>(*ctx, in, opt);
+    test::expect_sorted_output<u64>(res.output, data);
+  }
+}
+
+TEST(ThreePassLmm, RejectsOverCapacity) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  std::vector<u64> data(256 * 17, 1);  // > M*B = 16M
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassLmmOptions opt;
+  opt.mem_records = 256;
+  EXPECT_THROW(three_pass_lmm_sort<u64>(*ctx, in, opt), Error);
+}
+
+TEST(ThreePassLmm, RejectsNonMultipleOfM) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  std::vector<u64> data(256 + 16, 1);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassLmmOptions opt;
+  opt.mem_records = 256;
+  EXPECT_THROW(three_pass_lmm_sort<u64>(*ctx, in, opt), Error);
+}
+
+TEST(ThreePassMesh, RejectsWrongShape) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  std::vector<u64> data(256 * 8, 1);  // not M*sqrt(M)
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassMeshOptions opt;
+  opt.mem_records = 256;
+  EXPECT_THROW(three_pass_mesh_sort<u64>(*ctx, in, opt), Error);
+}
+
+TEST(ThreePass, ReadWritePassesBalanced) {
+  // Both algorithms do exactly 3 read passes and 3 write passes.
+  const auto g = Geometry::square(256);
+  {
+    auto ctx = test::make_ctx<u64>(g);
+    Rng rng(3);
+    auto data = make_keys(4096, Dist::kUniform, rng);
+    auto in = test::stage_input<u64>(*ctx, data);
+    ThreePassLmmOptions opt;
+    opt.mem_records = 256;
+    auto res = three_pass_lmm_sort<u64>(*ctx, in, opt);
+    EXPECT_NEAR(res.report.read_passes, 3.0, 0.1);
+    EXPECT_NEAR(res.report.write_passes, 3.0, 0.1);
+  }
+  {
+    auto ctx = test::make_ctx<u64>(g);
+    Rng rng(4);
+    auto data = make_keys(4096, Dist::kUniform, rng);
+    auto in = test::stage_input<u64>(*ctx, data);
+    ThreePassMeshOptions opt;
+    opt.mem_records = 256;
+    auto res = three_pass_mesh_sort<u64>(*ctx, in, opt);
+    EXPECT_NEAR(res.report.read_passes, 3.0, 0.1);
+    EXPECT_NEAR(res.report.write_passes, 3.0, 0.1);
+  }
+}
+
+TEST(ThreePass, FullDiskUtilization) {
+  // Oblivious layouts must earn (near-)full parallelism.
+  const auto g = Geometry::square(1024);  // D = 8
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(5);
+  auto data = make_keys(1024 * 32, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassLmmOptions opt;
+  opt.mem_records = 1024;
+  auto res = three_pass_lmm_sort<u64>(*ctx, in, opt);
+  EXPECT_GT(res.report.utilization, 0.95 * g.disks);
+}
+
+TEST(ThreePass, MemoryBudgetWithinDocumentedSlack)
+{
+  // DESIGN.md: ThreePass2 peak is ~2M records (+ O(D*B) staging).
+  const auto g = Geometry::square(1024);
+  auto ctx = test::make_ctx<u64>(g);
+  const usize slack_bytes =
+      static_cast<usize>(2.5 * 1024 * sizeof(u64)) +
+      g.disks * g.rpb * sizeof(u64) * 2;
+  ctx->budget().set_limit(slack_bytes);
+  Rng rng(6);
+  auto data = make_keys(1024 * 32, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  ThreePassLmmOptions opt;
+  opt.mem_records = 1024;
+  auto res = three_pass_lmm_sort<u64>(*ctx, in, opt);  // must not throw
+  test::expect_sorted_output<u64>(res.output, data);
+  EXPECT_LE(res.report.peak_memory_bytes, slack_bytes);
+}
+
+}  // namespace
+}  // namespace pdm
