@@ -6,8 +6,11 @@
 #include "baselines/columnsort.h"
 #include "baselines/multiway_merge.h"
 #include "core/expected_two_pass.h"
+#include "core/integer_sort.h"
+#include "core/radix_sort.h"
 #include "core/three_pass_lmm.h"
 #include "core/three_pass_mesh.h"
+#include "pdm/memory_backend.h"
 
 #include <filesystem>
 
@@ -119,5 +122,78 @@ int main(int argc, char** argv) {
          "(2 < 3 < merge-with-misses); wall-clock on the memory backend "
          "is CPU-dominated and much flatter — consistent with the "
          "paper's premise that I/O, not computation, is the metric.\n";
+
+  // --- Async overlap: synchronous vs double-buffered pipeline under a
+  // simulated per-op disk latency. Parallel-op accounting must be
+  // identical; only the wall clock may move.
+  const u64 latency_us = cli.get_u64("latency_us", 200);
+  const usize async_depth = static_cast<usize>(cli.get_u64("async_depth", 4));
+  std::cout << "\n-- async pipeline overlap (memory backend, simulated "
+            << latency_us << "us/op latency, depth " << async_depth
+            << ") --\n";
+  Table at({"algorithm", "passes", "sync_wall_s", "async_wall_s", "speedup",
+            "ops_equal"});
+  auto make_latency_ctx = [&]() {
+    auto ctx = make_ctx(g);
+    static_cast<MemoryDiskBackend&>(ctx->backend())
+        .set_simulated_latency_us(latency_us);
+    return ctx;
+  };
+  auto overlap_case = [&](const char* name, auto&& fn) {
+    double wall[2];
+    u64 ops[2];
+    for (int pass = 0; pass < 2; ++pass) {
+      auto ctx = make_latency_ctx();
+      auto in = stage<u64>(*ctx, data);
+      const usize depth = pass == 0 ? 0 : async_depth;
+      auto res = fn(*ctx, in, depth);
+      check_sorted<u64>(res.output, data.size());
+      wall[pass] = res.report.wall_seconds;
+      ops[pass] = res.report.io.total_ops();
+    }
+    at.row()
+        .cell(name)
+        .cell(static_cast<double>(ops[0]) /
+                  (2.0 * static_cast<double>(n) / (g.rpb * g.disks)),
+              3)
+        .cell(wall[0], 3)
+        .cell(wall[1], 3)
+        .cell(wall[0] / std::max(1e-9, wall[1]), 2)
+        .cell(ops[0] == ops[1]);
+  };
+  overlap_case("ExpectedTwoPass",
+               [&](PdmContext& c, const StripedRun<u64>& in, usize depth) {
+                 ExpectedTwoPassOptions o;
+                 o.mem_records = mem;
+                 o.async_depth = depth == 0 ? usize{1} : depth;
+                 return expected_two_pass_sort<u64>(c, in, o);
+               });
+  overlap_case("MultiwayMerge(la=2)",
+               [&](PdmContext& c, const StripedRun<u64>& in, usize depth) {
+                 MultiwaySortOptions o;
+                 o.mem_records = mem;
+                 o.lookahead = 2;
+                 o.async_depth = depth == 0 ? usize{1} : depth;
+                 return multiway_merge_sort<u64>(c, in, o);
+               });
+  overlap_case("RadixSort",
+               [&](PdmContext& c, const StripedRun<u64>& in, usize depth) {
+                 RadixSortOptions o;
+                 o.mem_records = mem;
+                 o.key_bits = 32;
+                 o.async_depth = depth == 0 ? usize{1} : depth;
+                 auto capped = in.read_all();
+                 for (auto& k : capped) k &= 0xFFFFFFFFULL;
+                 auto run = write_input_run<u64>(c, std::span<const u64>(capped));
+                 c.io().reset_stats();
+                 return radix_sort<u64>(c, run, o);
+               });
+  at.print(std::cout);
+  std::cout
+      << "Expected shape: identical parallel-op counts (the accounting is "
+         "charged at submission), with async wall-clock below sync by up "
+         "to the latency fraction of the run — prefetch and write-behind "
+         "overlap the simulated positioning delay with computation and "
+         "across the D disks.\n";
   return 0;
 }

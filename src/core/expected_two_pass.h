@@ -15,6 +15,8 @@
 // literal behaviour).
 #pragma once
 
+#include <optional>
+
 #include "core/capacity.h"
 #include "core/sort_report.h"
 #include "core/three_pass_lmm.h"
@@ -32,6 +34,7 @@ struct ExpectedTwoPassOptions {
   bool resort_from_scratch = false;  // paper-literal fallback
   bool enforce_capacity = false;     // refuse N beyond the w.h.p. bound
   ThreadPool* pool = nullptr;
+  usize async_depth = 0;  // >= 2: async I/O pipeline depth; 0 = inherit
 };
 
 template <Record R, class Cmp = std::less<R>>
@@ -56,6 +59,8 @@ SortResult<R> expected_two_pass_sort(PdmContext& ctx,
               "N exceeds the Theorem 5.1 capacity");
   }
 
+  std::optional<AsyncDepthScope> async_scope;
+  if (opt.async_depth != 0) async_scope.emplace(ctx.aio(), opt.async_depth);
   ReportBuilder rb(ctx, "ExpectedTwoPass", n, mem, rpb);
 
   // Pass 1.

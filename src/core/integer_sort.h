@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/sort_report.h"
@@ -31,6 +32,21 @@ class RecordReader {
   /// Reads up to max_records (whole blocks; compacting any padding);
   /// returns the number of valid records delivered.
   virtual usize read_up_to(R* dst, usize max_records) = 0;
+
+  /// Asynchronous variant: stages the reads without blocking, stores the
+  /// completion ticket in *ticket (0 = already done) and returns the
+  /// record count dst will hold once finalize(dst) has been called after
+  /// the ticket completes. Default: synchronous read, nothing to finalize.
+  virtual usize read_up_to_async(R* dst, usize max_records, IoTicket* ticket) {
+    *ticket = 0;
+    return read_up_to(dst, max_records);
+  }
+
+  /// Post-completion fixup for a buffer staged by read_up_to_async (e.g.
+  /// compaction of ragged blocks). Must be called after the ticket
+  /// completes and before the data is consumed. Default: no-op.
+  virtual void finalize(R* dst) { (void)dst; }
+
   virtual bool exhausted() const = 0;
   virtual u64 total() const = 0;
 };
@@ -41,11 +57,20 @@ class StripedRunReader final : public RecordReader<R> {
   explicit StripedRunReader(const StripedRun<R>& run) : run_(&run) {}
 
   usize read_up_to(R* dst, usize max_records) override {
+    IoTicket t = 0;
+    const usize valid = read_up_to_async(dst, max_records, &t);
+    run_->ctx().aio().wait(t);
+    return valid;
+  }
+
+  usize read_up_to_async(R* dst, usize max_records,
+                         IoTicket* ticket) override {
     const usize rpb = run_->rpb();
     const u64 nb = std::min<u64>(max_records / rpb,
                                  run_->num_blocks() - next_block_);
+    *ticket = 0;
     if (nb == 0) return 0;
-    run_->read_blocks(next_block_, nb, dst);
+    *ticket = run_->read_blocks_async(next_block_, nb, dst);
     usize valid = 0;
     for (u64 b = 0; b < nb; ++b) {
       valid += run_->records_in_block(next_block_ + b);
@@ -77,14 +102,46 @@ class RaggedRunReader final : public RecordReader<R> {
     return valid;
   }
 
+  usize read_up_to_async(R* dst, usize max_records,
+                         IoTicket* ticket) override {
+    const usize rpb = run_->rpb();
+    const u64 nb = std::min<u64>(max_records / rpb,
+                                 run_->num_segments() - next_seg_);
+    *ticket = 0;
+    if (nb == 0) return 0;
+    *ticket = run_->read_segments_async(next_seg_, nb, dst);
+    pending_.push_back(Pending{dst, next_seg_, nb});
+    const usize valid = run_->valid_in_segments(next_seg_, nb);
+    next_seg_ += nb;
+    return valid;
+  }
+
+  void finalize(R* dst) override {
+    for (usize i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].dst == dst) {
+        run_->compact_segments(pending_[i].first, pending_[i].count, dst);
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    PDM_ASSERT(false, "finalize for a buffer with no staged ragged read");
+  }
+
   bool exhausted() const override {
     return next_seg_ >= run_->num_segments();
   }
   u64 total() const override { return run_->size(); }
 
  private:
+  struct Pending {
+    R* dst;
+    u64 first;
+    u64 count;
+  };
+
   const RaggedRun<R>* run_;
   u64 next_seg_ = 0;
+  std::vector<Pending> pending_;
 };
 
 /// Bucket block placement policy. kRotation keeps each bucket's blocks on
@@ -126,6 +183,11 @@ DistributeOutcome<R> distribute_pass(
   }
 
   TrackedBuffer<R> load(ctx.budget(), static_cast<usize>(load_sz));
+  // Double-buffered input when the async pipeline is on: the next phase's
+  // load streams in while this phase partitions and scatters.
+  const bool async = ctx.aio().enabled();
+  TrackedBuffer<R> load2;
+  if (async) load2 = TrackedBuffer<R>(ctx.budget(), load.size());
   // Only used by kBalancedBatch: rotates across each phase's whole batch.
   u64 disk_cursor = 0;
   TrackedBuffer<R> grouped(ctx.budget(), static_cast<usize>(load_sz));
@@ -136,6 +198,8 @@ DistributeOutcome<R> distribute_pass(
   std::vector<usize> staged_cnt(num_buckets, 0);
   std::vector<u64> counts(num_buckets);
   std::vector<u64> bounds(num_buckets + 1);
+  // After every buffer an in-flight read could target.
+  PipelineDrainGuard drain_guard(ctx.aio());
 
   auto stage = [&](RaggedRun<R>& bucket, const R* buf, usize count) {
     if (placement == BucketPlacement::kBalancedBatch) {
@@ -206,14 +270,39 @@ DistributeOutcome<R> distribute_pass(
         }
       }
     }
-    ctx.io().write(reqs);
+    ctx.write_batch(reqs);
     ++out.phases;
   };
 
-  while (!in.exhausted()) {
-    const usize got = in.read_up_to(load.data(), static_cast<usize>(load_sz));
-    if (got == 0) break;
-    flush_phase(std::span<const R>(load.data(), got));
+  if (async) {
+    // Ping-pong: issue the next load before partitioning the current one.
+    R* bufs[2] = {load.data(), load2.data()};
+    IoTicket tickets[2] = {0, 0};
+    usize cur = 0;
+    usize got = in.exhausted()
+                    ? usize{0}
+                    : in.read_up_to_async(bufs[0], static_cast<usize>(load_sz),
+                                          &tickets[0]);
+    while (got > 0) {
+      const usize next = cur ^ 1;
+      const usize next_got =
+          in.exhausted() ? usize{0}
+                         : in.read_up_to_async(
+                               bufs[next], static_cast<usize>(load_sz),
+                               &tickets[next]);
+      ctx.aio().wait(tickets[cur]);
+      in.finalize(bufs[cur]);
+      flush_phase(std::span<const R>(bufs[cur], got));
+      cur = next;
+      got = next_got;
+    }
+  } else {
+    while (!in.exhausted()) {
+      const usize got =
+          in.read_up_to(load.data(), static_cast<usize>(load_sz));
+      if (got == 0) break;
+      flush_phase(std::span<const R>(load.data(), got));
+    }
   }
 
   if (staged) {
@@ -228,7 +317,7 @@ DistributeOutcome<R> distribute_pass(
       out.pad_records += rpb - staged_cnt[i];
       staged_cnt[i] = 0;
     }
-    ctx.io().write(reqs);
+    ctx.write_batch(reqs);
   }
   return out;
 }
@@ -239,6 +328,8 @@ struct IntegerSortOptions {
   bool placement_pass = true;  // paper's step A
   bool staged = false;         // extension: carry partial blocks in memory
   BucketPlacement placement = BucketPlacement::kRotation;
+  usize async_depth = 0;  // >= 2: run with the async I/O pipeline at this
+                          // depth for this sort; 0 = inherit the context
 };
 
 template <Record R>
@@ -257,6 +348,8 @@ IntegerSortResult<R> integer_sort(PdmContext& ctx, const StripedRun<R>& input,
   const u64 mem = opt.mem_records;
   PDM_CHECK(opt.range > 0 && opt.range * rpb <= mem,
             "IntegerSort needs range <= M/B");
+  std::optional<AsyncDepthScope> async_scope;
+  if (opt.async_depth != 0) async_scope.emplace(ctx.aio(), opt.async_depth);
   ReportBuilder rb(ctx, "IntegerSort", input.size(), mem, rpb);
 
   IntegerSortResult<R> result;

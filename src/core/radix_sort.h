@@ -22,6 +22,7 @@ struct RadixSortOptions {
   u32 digit_bits = 0;   // 0 = floor(log2(M/B))
   bool staged = false;  // use the staged distribution (extension)
   BucketPlacement placement = BucketPlacement::kRotation;
+  usize async_depth = 0;  // >= 2: async I/O pipeline depth; 0 = inherit
 };
 
 namespace detail {
@@ -140,6 +141,8 @@ SortResult<R> radix_sort(PdmContext& ctx, const StripedRun<R>& input,
                     : std::max<u32>(1, ilog2(mem / rpb));
   PDM_CHECK((u64{1} << w) * rpb <= mem, "digit width exceeds M/B buckets");
 
+  std::optional<AsyncDepthScope> async_scope;
+  if (opt.async_depth != 0) async_scope.emplace(ctx.aio(), opt.async_depth);
   ReportBuilder rb(ctx, "RadixSort", input.size(), mem, rpb);
   SortResult<R> result;
   result.output = StripedRun<R>(ctx, 0);

@@ -47,6 +47,10 @@ class ReportBuilder {
   }
 
   SortReport finish() {
+    // The async pipeline may still be executing write-behind batches that
+    // were already charged to the stats; finishing a sort means its data
+    // is on disk, so the drain belongs inside the wall-clock measurement.
+    ctx_->aio().drain();
     const IoStats d = delta(ctx_->stats(), before_);
     report_.io = d;
     report_.passes = d.passes(report_.n, report_.rpb, report_.disks);

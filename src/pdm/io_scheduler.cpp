@@ -3,6 +3,8 @@
 #include <functional>
 #include <vector>
 
+#include "pdm/async_io.h"
+
 namespace pdm {
 
 IoScheduler::IoScheduler(DiskBackend& backend, CostModel cost)
@@ -37,18 +39,29 @@ u64 run_rounds(std::span<const Req> reqs, u32 num_disks,
   return rounds;
 }
 
+// Rounds of a batch without executing it: the length of the longest
+// per-disk queue. Must agree with run_rounds above.
+template <class Req>
+u64 count_rounds(std::span<const Req> reqs, u32 num_disks) {
+  static thread_local std::vector<u64> load;
+  load.assign(num_disks, 0);
+  u64 rounds = 0;
+  for (const auto& r : reqs) {
+    rounds = std::max(rounds, ++load[r.where.disk]);
+  }
+  return rounds;
+}
+
 }  // namespace
 
-u64 IoScheduler::read(std::span<const ReadReq> reqs) {
+u64 IoScheduler::account_read(std::span<const ReadReq> reqs) {
   if (reqs.empty()) return 0;
   for (const auto& r : reqs) {
     PDM_CHECK(r.where.disk < backend_->num_disks(), "read: bad disk");
     stats_.hash_request(r.where.disk, r.where.index, /*is_write=*/false);
     ++stats_.disk_reads[r.where.disk];
   }
-  const u64 rounds = run_rounds<ReadReq>(
-      reqs, backend_->num_disks(),
-      [this](std::span<const ReadReq> round) { backend_->read_batch(round); });
+  const u64 rounds = count_rounds<ReadReq>(reqs, backend_->num_disks());
   stats_.read_ops += rounds;
   stats_.blocks_read += reqs.size();
   stats_.sim_time_s +=
@@ -56,20 +69,44 @@ u64 IoScheduler::read(std::span<const ReadReq> reqs) {
   return rounds;
 }
 
-u64 IoScheduler::write(std::span<const WriteReq> reqs) {
+u64 IoScheduler::account_write(std::span<const WriteReq> reqs) {
   if (reqs.empty()) return 0;
   for (const auto& w : reqs) {
     PDM_CHECK(w.where.disk < backend_->num_disks(), "write: bad disk");
     stats_.hash_request(w.where.disk, w.where.index, /*is_write=*/true);
     ++stats_.disk_writes[w.where.disk];
   }
-  const u64 rounds = run_rounds<WriteReq>(
-      reqs, backend_->num_disks(),
-      [this](std::span<const WriteReq> round) { backend_->write_batch(round); });
+  const u64 rounds = count_rounds<WriteReq>(reqs, backend_->num_disks());
   stats_.write_ops += rounds;
   stats_.blocks_written += reqs.size();
   stats_.sim_time_s +=
       static_cast<double>(rounds) * cost_.round_cost(backend_->block_bytes());
+  return rounds;
+}
+
+u64 IoScheduler::read(std::span<const ReadReq> reqs) {
+  if (reqs.empty()) return 0;
+  if (pipeline_ != nullptr && pipeline_->enabled()) {
+    return pipeline_->read(reqs);
+  }
+  const u64 rounds = account_read(reqs);
+  const u64 executed = run_rounds<ReadReq>(
+      reqs, backend_->num_disks(),
+      [this](std::span<const ReadReq> round) { backend_->read_batch(round); });
+  PDM_ASSERT(executed == rounds, "round accounting mismatch");
+  return rounds;
+}
+
+u64 IoScheduler::write(std::span<const WriteReq> reqs) {
+  if (reqs.empty()) return 0;
+  if (pipeline_ != nullptr && pipeline_->enabled()) {
+    return pipeline_->write(reqs);
+  }
+  const u64 rounds = account_write(reqs);
+  const u64 executed = run_rounds<WriteReq>(
+      reqs, backend_->num_disks(),
+      [this](std::span<const WriteReq> round) { backend_->write_batch(round); });
+  PDM_ASSERT(executed == rounds, "round accounting mismatch");
   return rounds;
 }
 

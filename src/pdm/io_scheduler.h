@@ -6,6 +6,15 @@
 // algorithm only achieves one-op-per-D-blocks if its *layout* spreads each
 // batch evenly over the disks. This is exactly the accounting the paper
 // uses when it credits oblivious algorithms with guaranteed parallelism.
+//
+// Accounting and execution are split so that the asynchronous pipeline
+// (async_io.h) can charge a batch at submission time — in submission
+// order, with exactly the same round arithmetic — while deferring the
+// actual backend transfers to its per-disk worker queues. When a pipeline
+// is attached and enabled, read()/write() route through it so that every
+// legacy synchronous call site still observes the pipeline's per-disk FIFO
+// order (a read issued after a buffered write of the same block sees the
+// new data).
 #pragma once
 
 #include <span>
@@ -14,6 +23,8 @@
 #include "pdm/io_stats.h"
 
 namespace pdm {
+
+class AsyncIoScheduler;
 
 class IoScheduler {
  public:
@@ -25,6 +36,14 @@ class IoScheduler {
   /// Executes all writes; returns the number of parallel operations used.
   u64 write(std::span<const WriteReq> reqs);
 
+  /// Stats-only halves of read()/write(): charge the batch exactly as the
+  /// synchronous path would (request hashes in submission order, rounds =
+  /// max per-disk load) without touching the backend. Used by the async
+  /// pipeline; calling them and then executing the same requests in any
+  /// per-disk FIFO order yields byte- and stats-identical results.
+  u64 account_read(std::span<const ReadReq> reqs);
+  u64 account_write(std::span<const WriteReq> reqs);
+
   IoStats& stats() noexcept { return stats_; }
   const IoStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_.reset(backend_->num_disks()); }
@@ -34,10 +53,16 @@ class IoScheduler {
 
   DiskBackend& backend() noexcept { return *backend_; }
 
+  /// Wires the asynchronous pipeline in front of this scheduler. Owned by
+  /// PdmContext; read()/write() delegate to it while it is enabled.
+  void attach_pipeline(AsyncIoScheduler* pipeline) { pipeline_ = pipeline; }
+  AsyncIoScheduler* pipeline() const noexcept { return pipeline_; }
+
  private:
   DiskBackend* backend_;
   CostModel cost_;
   IoStats stats_;
+  AsyncIoScheduler* pipeline_ = nullptr;
 };
 
 }  // namespace pdm

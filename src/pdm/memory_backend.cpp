@@ -1,6 +1,8 @@
 #include "pdm/memory_backend.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace pdm {
 
@@ -10,7 +12,14 @@ MemoryDiskBackend::MemoryDiskBackend(u32 num_disks, usize block_bytes)
   PDM_CHECK(block_bytes > 0, "block_bytes must be positive");
 }
 
+void MemoryDiskBackend::simulate_latency() const {
+  if (latency_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+  }
+}
+
 void MemoryDiskBackend::read_batch(std::span<const ReadReq> reqs) {
+  simulate_latency();
   for (const auto& r : reqs) {
     PDM_CHECK(r.where.disk < num_disks_, "read: disk out of range");
     const auto& d = disks_[r.where.disk];
@@ -24,6 +33,7 @@ void MemoryDiskBackend::read_batch(std::span<const ReadReq> reqs) {
 }
 
 void MemoryDiskBackend::write_batch(std::span<const WriteReq> reqs) {
+  simulate_latency();
   for (const auto& w : reqs) {
     PDM_CHECK(w.where.disk < num_disks_, "write: disk out of range");
     auto& d = disks_[w.where.disk];

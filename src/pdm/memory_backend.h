@@ -24,9 +24,20 @@ class MemoryDiskBackend final : public DiskBackend {
   /// Total bytes currently held across all disks (for reporting).
   usize resident_bytes() const;
 
+  /// Simulated per-op latency: every read_batch/write_batch call sleeps
+  /// this long, modelling one positioning delay per parallel-op visit to a
+  /// disk. A synchronous pipeline pays it serially on the caller thread;
+  /// the async pipeline overlaps it with computation and across disks —
+  /// which is what bench_e13 measures. 0 (default) disables the sleep.
+  void set_simulated_latency_us(u64 micros) { latency_us_ = micros; }
+  u64 simulated_latency_us() const noexcept { return latency_us_; }
+
  private:
+  void simulate_latency() const;
+
   u32 num_disks_;
   usize block_bytes_;
+  u64 latency_us_ = 0;
   std::vector<std::vector<std::byte>> disks_;
 };
 

@@ -9,8 +9,12 @@ PdmContext::PdmContext(std::unique_ptr<DiskBackend> backend, CostModel cost,
                        u64 seed)
     : backend_(std::move(backend)),
       sched_(*backend_, cost),
+      aio_(sched_),
+      write_behind_(aio_, &budget_),
       alloc_(backend_->num_disks()),
-      rng_(seed) {}
+      rng_(seed) {
+  sched_.attach_pipeline(&aio_);
+}
 
 std::unique_ptr<PdmContext> make_memory_context(u32 num_disks,
                                                 usize block_bytes, u64 seed) {

@@ -1,15 +1,18 @@
 // PdmContext bundles everything a sorter needs: the disk array, the
-// parallel-I/O scheduler, the block allocator, the memory budget and a
-// seeded RNG. One context = one PDM machine.
+// parallel-I/O scheduler (with its optional asynchronous pipeline), the
+// block allocator, the memory budget and a seeded RNG. One context = one
+// PDM machine.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "pdm/async_io.h"
 #include "pdm/disk_allocator.h"
 #include "pdm/disk_backend.h"
 #include "pdm/io_scheduler.h"
 #include "pdm/memory_budget.h"
+#include "pdm/prefetch_buffer.h"
 #include "util/rng.h"
 
 namespace pdm {
@@ -34,6 +37,29 @@ class PdmContext {
   Rng& rng() noexcept { return rng_; }
   DiskBackend& backend() noexcept { return *backend_; }
 
+  /// The asynchronous pipeline (disabled unless async_depth >= 2).
+  AsyncIoScheduler& aio() noexcept { return aio_; }
+
+  /// Opt-in knob for the double-buffered pipeline: >= 2 enables it with
+  /// that many in-flight submissions; 0/1 keeps every I/O synchronous.
+  /// Sorters override it per-invocation via their options' async_depth.
+  /// Overlap costs memory, all budget-tracked: the ping-pong hot paths
+  /// hold one extra load buffer (up to +M records) and the write-behind
+  /// ring stages up to 2 in-flight batches — so do not enable it on a
+  /// context whose MemoryBudget limit is sized to the synchronous slack.
+  void set_async_depth(usize depth) { aio_.set_depth(depth); }
+  usize async_depth() const noexcept { return aio_.depth(); }
+
+  /// Writes a batch with write-behind when the pipeline is enabled (the
+  /// payload is copied; callers may reuse their buffers immediately) and
+  /// synchronously otherwise. All bulk producers route writes here.
+  void write_batch(std::span<const WriteReq> reqs) {
+    write_behind_.submit_copy(reqs);
+  }
+
+  /// The shared write-behind ring (for drain/flush control).
+  WriteBehindRing& write_behind() noexcept { return write_behind_; }
+
   /// Records-per-block for a given record type.
   template <class R>
   usize rpb() const {
@@ -45,8 +71,10 @@ class PdmContext {
  private:
   std::unique_ptr<DiskBackend> backend_;
   IoScheduler sched_;
+  AsyncIoScheduler aio_;
+  MemoryBudget budget_;  // before write_behind_, whose slabs it tracks
+  WriteBehindRing write_behind_;
   DiskAllocator alloc_;
-  MemoryBudget budget_;
   Rng rng_;
 };
 

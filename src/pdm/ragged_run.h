@@ -60,6 +60,14 @@ class RaggedRun {
   /// records to the front of dst (which must hold count*rpb records).
   /// Returns the number of valid records.
   usize read_segments(u64 first, u64 count, R* dst) const {
+    ctx_->aio().wait(read_segments_async(first, count, dst));
+    return compact_segments(first, count, dst);
+  }
+
+  /// Asynchronous half: stages the segment reads block-granular into dst
+  /// and returns the completion ticket. After waiting it, call
+  /// compact_segments with the same arguments to squeeze out the padding.
+  IoTicket read_segments_async(u64 first, u64 count, R* dst) const {
     PDM_CHECK(first + count <= segs_.size(), "segment range out of bounds");
     std::vector<ReadReq> reqs;
     reqs.reserve(static_cast<usize>(count));
@@ -67,8 +75,12 @@ class RaggedRun {
       reqs.push_back(ReadReq{segs_[first + i].where,
                              reinterpret_cast<std::byte*>(dst + i * rpb_)});
     }
-    ctx_->io().read(reqs);
-    // Compact in place: segments are laid out at block granularity.
+    return ctx_->aio().read_async(reqs);
+  }
+
+  /// Compacts block-granular data staged by read_segments_async in place;
+  /// returns the number of valid records.
+  usize compact_segments(u64 first, u64 count, R* dst) const {
     usize valid = 0;
     for (u64 i = 0; i < count; ++i) {
       const usize c = segs_[first + i].count;
@@ -77,6 +89,14 @@ class RaggedRun {
       }
       valid += c;
     }
+    return valid;
+  }
+
+  /// Sum of valid records over a segment range (metadata only).
+  usize valid_in_segments(u64 first, u64 count) const {
+    PDM_CHECK(first + count <= segs_.size(), "segment range out of bounds");
+    usize valid = 0;
+    for (u64 i = 0; i < count; ++i) valid += segs_[first + i].count;
     return valid;
   }
 

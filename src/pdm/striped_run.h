@@ -59,7 +59,10 @@ class StripedRun {
   /// Appends records with write combining: completed blocks are held in
   /// the tail buffer until at least D of them accumulate, then written in
   /// one batched parallel operation — so even record-at-a-time appends
-  /// reach full disk parallelism. Call finish() to flush.
+  /// reach full disk parallelism. Call finish() to flush. Writes go
+  /// through the context's write-behind ring, so with the async pipeline
+  /// enabled the caller's buffer is copied and the transfer overlaps with
+  /// whatever the caller does next.
   void append(std::span<const R> recs) {
     PDM_CHECK(!finished_, "append after finish()");
     if (recs.empty()) return;
@@ -76,7 +79,7 @@ class StripedRun {
             alloc_next_block(),
             reinterpret_cast<const std::byte*>(recs.data() + b * rpb_)});
       }
-      ctx_->io().write(reqs);
+      ctx_->write_batch(reqs);
       tail_.assign(recs.begin() + static_cast<std::ptrdiff_t>(full * rpb_),
                    recs.end());
       return;
@@ -95,7 +98,7 @@ class StripedRun {
     tail_.resize(rpb_, R{});
     WriteReq req{alloc_next_block(),
                  reinterpret_cast<const std::byte*>(tail_.data())};
-    ctx_->io().write(std::span<const WriteReq>(&req, 1));
+    ctx_->write_batch(std::span<const WriteReq>(&req, 1));
     tail_.clear();
   }
 
@@ -107,13 +110,20 @@ class StripedRun {
   /// Reads `count` consecutive blocks starting at `first` into dst (which
   /// must hold count*rpb records) with one batched parallel read.
   void read_blocks(u64 first, u64 count, R* dst) const {
+    ctx_->aio().wait(read_blocks_async(first, count, dst));
+  }
+
+  /// Asynchronous variant: stages the batch and returns its completion
+  /// ticket (0 when the pipeline is disabled and the read already
+  /// happened). dst must stay alive until the ticket completes.
+  IoTicket read_blocks_async(u64 first, u64 count, R* dst) const {
     PDM_CHECK(first + count <= blocks_.size(), "read_blocks out of range");
     std::vector<ReadReq> reqs;
     reqs.reserve(static_cast<usize>(count));
     for (u64 b = 0; b < count; ++b) {
       reqs.push_back(read_req(first + b, dst + b * rpb_));
     }
-    ctx_->io().read(reqs);
+    return ctx_->aio().read_async(reqs);
   }
 
   /// Reads the entire run (convenience for tests; counts I/O normally).
@@ -138,7 +148,7 @@ class StripedRun {
           alloc_next_block(),
           reinterpret_cast<const std::byte*>(tail_.data() + b * rpb_)});
     }
-    ctx_->io().write(reqs);
+    ctx_->write_batch(reqs);
     tail_.erase(tail_.begin(),
                 tail_.begin() + static_cast<std::ptrdiff_t>(full * rpb_));
   }

@@ -19,6 +19,7 @@
 
 #include "internal/loser_tree.h"
 #include "pdm/memory_budget.h"
+#include "pdm/prefetch_buffer.h"
 #include "primitives/stream.h"
 
 namespace pdm {
@@ -49,6 +50,7 @@ void multiway_merge_pass(PdmContext& ctx,
       std::min<usize>(k, opt.refill_batch != 0 ? opt.refill_batch : ctx.D());
 
   TrackedBuffer<R> slab(ctx.budget(), slots * rpb);
+  PipelineDrainGuard drain_guard(ctx.aio());  // after the slab it guards
   std::vector<usize> free_slots(slots);
   for (usize i = 0; i < slots; ++i) free_slots[i] = i;
 
@@ -56,6 +58,7 @@ void multiway_merge_pass(PdmContext& ctx,
     usize slot;
     usize valid;
     usize pos = 0;
+    IoTicket ticket = 0;  // completion of the block's (async) fetch
   };
   struct RunState {
     std::deque<Loaded> queue;
@@ -64,9 +67,15 @@ void multiway_merge_pass(PdmContext& ctx,
   };
   std::vector<RunState> st(k);
 
+  // Fetches go through the async pipeline: the batch is charged at
+  // submission (same parallel-op accounting as the synchronous path) and
+  // each fetched block carries the batch's completion ticket, waited for
+  // lazily on first access — so the merge loop overlaps with the reads.
   auto fetch_batch = [&](const std::vector<usize>& which) {
     std::vector<ReadReq> reqs;
     reqs.reserve(which.size());
+    std::vector<usize> fetched;
+    fetched.reserve(which.size());
     for (usize r : which) {
       PDM_ASSERT(!free_slots.empty(), "no free merge slots");
       const usize slot = free_slots.back();
@@ -75,8 +84,17 @@ void multiway_merge_pass(PdmContext& ctx,
       reqs.push_back(runs[r].read_req(b, slab.data() + slot * rpb));
       st[r].queue.push_back(Loaded{slot, runs[r].records_in_block(b)});
       st[r].fetch_pending = false;
+      fetched.push_back(r);
     }
-    ctx.io().read(reqs);
+    const IoTicket t = ctx.aio().read_async(reqs);
+    for (usize r : fetched) st[r].queue.back().ticket = t;
+  };
+
+  auto ensure_loaded = [&](Loaded& l) {
+    if (l.ticket != 0) {
+      ctx.aio().wait(l.ticket);
+      l.ticket = 0;
+    }
   };
 
   // Forecast key of run r = last record of its last loaded block; the run
@@ -87,6 +105,9 @@ void multiway_merge_pass(PdmContext& ctx,
       if (st[r].next_block < runs[r].num_blocks() &&
           st[r].queue.size() <= opt.lookahead) {
         cand.push_back(r);
+        // The comparator below reads the tail key of the last loaded
+        // block, so that block's fetch must have landed.
+        if (!st[r].queue.empty()) ensure_loaded(st[r].queue.back());
       }
     }
     std::sort(cand.begin(), cand.end(), [&](usize a, usize b) {
@@ -118,7 +139,8 @@ void multiway_merge_pass(PdmContext& ctx,
   }
 
   auto head = [&](usize r) -> const R& {
-    const Loaded& l = st[r].queue.front();
+    Loaded& l = st[r].queue.front();
+    ensure_loaded(l);
     return slab[l.slot * rpb + l.pos];
   };
 

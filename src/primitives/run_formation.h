@@ -12,6 +12,7 @@
 
 #include "internal/insort.h"
 #include "pdm/memory_budget.h"
+#include "pdm/prefetch_buffer.h"
 #include "pdm/striped_run.h"
 #include "util/math_util.h"
 
@@ -69,16 +70,45 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
   TrackedBuffer<R> parts_buf;
   if (m > 1) parts_buf = TrackedBuffer<R>(ctx.budget(), load.size());
 
+  // Double-buffered prefetch: while run i is sorted and written, run i+1
+  // streams in. Identical read batches to the synchronous path, so IoStats
+  // op counts do not change — only the wall-clock overlap does.
+  const bool async = ctx.aio().enabled();
+  TrackedBuffer<R> load2;
+  if (async) load2 = TrackedBuffer<R>(ctx.budget(), load.size());
+  PipelineDrainGuard drain_guard(ctx.aio());  // after the buffers it guards
+
+  R* bufs[2] = {load.data(), async ? load2.data() : nullptr};
+  IoTicket tickets[2] = {0, 0};
+  auto blocks_of = [&](u64 i) {
+    const u64 rec0 = opt.first_record + i * run_len;
+    const u64 nrec = std::min<u64>(run_len, opt.first_record + n - rec0);
+    return std::pair<u64, u64>{rec0 / rpb, ceil_div(nrec, rpb)};
+  };
+  auto issue = [&](u64 i, usize slot) {
+    const auto [b0, nblocks] = blocks_of(i);
+    tickets[slot] = input.read_blocks_async(b0, nblocks, bufs[slot]);
+  };
+
   FormedRuns<R> out;
   out.reserve(static_cast<usize>(num_runs));
 
+  usize cur = 0;
+  if (async) issue(0, 0);
   for (u64 i = 0; i < num_runs; ++i) {
     const u64 rec0 = opt.first_record + i * run_len;
     const u64 nrec = std::min<u64>(run_len, opt.first_record + n - rec0);
-    const u64 b0 = rec0 / rpb;
-    const u64 nblocks = ceil_div(nrec, rpb);
-    input.read_blocks(b0, nblocks, load.data());
-    internal_sort(std::span<R>(load.data(), static_cast<usize>(nrec)), cmp,
+    R* buf;
+    if (async) {
+      ctx.aio().wait(tickets[cur]);
+      buf = bufs[cur];
+      if (i + 1 < num_runs) issue(i + 1, cur ^ 1);
+    } else {
+      const auto [b0, nblocks] = blocks_of(i);
+      input.read_blocks(b0, nblocks, load.data());
+      buf = load.data();
+    }
+    internal_sort(std::span<R>(buf, static_cast<usize>(nrec)), cmp,
                   parallel ? opt.pool : nullptr,
                   parallel ? scratch.span() : std::span<R>{});
 
@@ -90,9 +120,9 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
       // evenly even when the run count does not divide M/B.
       const u32 stride = flat_run_start_stride(ctx.D());
       runs_i.emplace_back(ctx, static_cast<u32>((i * stride) % ctx.D()));
-      runs_i[0].append(std::span<const R>(load.data(),
-                                          static_cast<usize>(nrec)));
+      runs_i[0].append(std::span<const R>(buf, static_cast<usize>(nrec)));
       runs_i[0].finish();
+      cur ^= 1;
       continue;
     }
     PDM_CHECK(nrec == run_len,
@@ -103,7 +133,7 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
     const u64 p_len = run_len / m;
     for (u64 j = 0; j < m; ++j) {
       R* dst = parts_buf.data() + j * p_len;
-      const R* src = load.data();
+      const R* src = buf;
       for (u64 t = 0; t < p_len; ++t) dst[t] = src[t * m + j];
     }
     runs_i.reserve(m);
@@ -118,9 +148,10 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
             parts_buf.data() + j * p_len + b * rpb));
       }
     }
-    ctx.io().write(reqs);
+    ctx.write_batch(reqs);
     for (auto& part : runs_i) part.finish();
     (void)blocks_per_run;
+    cur ^= 1;
   }
   return out;
 }

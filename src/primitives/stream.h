@@ -18,6 +18,7 @@
 
 #include "pdm/block_matrix.h"
 #include "pdm/memory_budget.h"
+#include "pdm/prefetch_buffer.h"
 #include "pdm/striped_run.h"
 #include "util/math_util.h"
 
@@ -73,28 +74,23 @@ class ShuffleChunkSource final : public ChunkSource<R> {
   usize chunk_records() const override { return chunk_records_; }
   u64 total_records() const override { return total_; }
   bool exhausted() const override {
-    for (usize j = 0; j < runs_.size(); ++j) {
-      if (cursors_[j] < runs_[j].num_blocks()) return false;
-    }
-    return true;
+    // With the prefetch ring active the cursors run ahead of consumption:
+    // the source is only dry once the ring is, too.
+    if (ring_ != nullptr && !ring_->empty()) return false;
+    return cursors_done();
   }
 
   usize next_chunk(R* dst, usize capacity) override {
     PDM_CHECK(capacity >= chunk_records_, "chunk capacity too small");
+    // Once the ring exists, stay on the prefetched path even if the
+    // pipeline is disabled mid-stream: the cursors have run ahead of
+    // consumption, and only the ring knows about the staged chunk.
+    if (ctx_->aio().enabled() || ring_ != nullptr) {
+      return next_chunk_prefetched(dst);
+    }
     std::vector<ReadReq> reqs;
     std::vector<usize> valid;  // records per staged block, in order
-    usize pos = 0;
-    for (usize j = 0; j < runs_.size(); ++j) {
-      const auto& run = runs_[j];
-      for (u64 b = 0; b < blocks_per_run_; ++b) {
-        if (cursors_[j] >= run.num_blocks()) break;
-        reqs.push_back(run.read_req(cursors_[j], dst + pos));
-        valid.push_back(run.records_in_block(cursors_[j]));
-        pos += rpb_;
-        ++cursors_[j];
-      }
-    }
-    if (reqs.empty()) return 0;
+    if (!stage_next(dst, reqs, valid)) return 0;
     ctx_->io().read(reqs);
     // Compact away padding from partial tail blocks.
     usize out = 0;
@@ -108,6 +104,69 @@ class ShuffleChunkSource final : public ChunkSource<R> {
   }
 
  private:
+  bool cursors_done() const {
+    for (usize j = 0; j < runs_.size(); ++j) {
+      if (cursors_[j] < runs_[j].num_blocks()) return false;
+    }
+    return true;
+  }
+
+  /// Builds the next chunk's request list reading into `base` and advances
+  /// the cursors; identical batch composition whether or not the reads are
+  /// then executed synchronously or prefetched.
+  bool stage_next(R* base, std::vector<ReadReq>& reqs,
+                  std::vector<usize>& valid) {
+    reqs.clear();
+    valid.clear();
+    usize pos = 0;
+    for (usize j = 0; j < runs_.size(); ++j) {
+      const auto& run = runs_[j];
+      for (u64 b = 0; b < blocks_per_run_; ++b) {
+        if (cursors_[j] >= run.num_blocks()) break;
+        reqs.push_back(run.read_req(cursors_[j], base + pos));
+        valid.push_back(run.records_in_block(cursors_[j]));
+        pos += rpb_;
+        ++cursors_[j];
+      }
+    }
+    return !reqs.empty();
+  }
+
+  /// Prefetched path. One slab suffices for full double buffering: the
+  /// compaction copy moves the chunk out of the slab before the next read
+  /// is staged into it, so chunk t+1 streams in while the caller
+  /// sorts/cleans chunk t. Keeping exactly one chunk in flight also
+  /// bounds the cost of speculation: if the consumer aborts (cleanup
+  /// violation -> fallback), at most one chunk of reads was charged to
+  /// IoStats that a synchronous run would not have issued.
+  usize next_chunk_prefetched(R* dst) {
+    if (ring_ == nullptr) {
+      ring_ = std::make_unique<ReadAheadRing<R>>(
+          ctx_->aio(), ctx_->budget(), chunk_records_, /*depth=*/1);
+    }
+    std::vector<ReadReq> reqs;
+    std::vector<usize> valid;
+    if (!ring_->full() && stage_next(ring_->stage(), reqs, valid)) {
+      ring_->push(reqs, std::move(valid));
+      valid = {};
+    }
+    if (ring_->empty()) return 0;
+    const auto view = ring_->front();
+    usize out = 0;
+    const auto& v = *view.valid;
+    for (usize i = 0; i < v.size(); ++i) {
+      if (v[i] > 0) {
+        std::memcpy(dst + out, view.data + i * rpb_, v[i] * sizeof(R));
+      }
+      out += v[i];
+    }
+    ring_->pop();
+    if (stage_next(ring_->stage(), reqs, valid)) {
+      ring_->push(reqs, std::move(valid));
+    }
+    return out;
+  }
+
   PdmContext* ctx_;
   std::span<const StripedRun<R>> runs_;
   usize rpb_;
@@ -115,6 +174,7 @@ class ShuffleChunkSource final : public ChunkSource<R> {
   usize chunk_records_ = 0;
   std::vector<u64> cursors_;
   u64 total_ = 0;
+  std::unique_ptr<ReadAheadRing<R>> ring_;
 };
 
 /// Delivers the row-bands of a BlockMatrix: chunk k = block-row k (the k-th
@@ -203,7 +263,7 @@ class UnshuffleSink final : public Sink<R> {
       reqs.push_back(parts_[p].stage_append_block(&staging_[p * rpb_]));
       fill_[p] = 0;
     }
-    ctx_->io().write(reqs);
+    ctx_->write_batch(reqs);
   }
 
   PdmContext* ctx_;
