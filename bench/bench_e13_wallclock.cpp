@@ -128,11 +128,19 @@ int main(int argc, char** argv) {
   // identical; only the wall clock may move.
   const u64 latency_us = cli.get_u64("latency_us", 200);
   const usize async_depth = static_cast<usize>(cli.get_u64("async_depth", 4));
+  const std::string json_out = cli.get("json_out", "BENCH_PR2.json");
   std::cout << "\n-- async pipeline overlap (memory backend, simulated "
             << latency_us << "us/op latency, depth " << async_depth
             << ") --\n";
   Table at({"algorithm", "passes", "sync_wall_s", "async_wall_s", "speedup",
             "ops_equal"});
+  JsonWriter jw;
+  jw.begin_obj();
+  jw.key("m").value(mem);
+  jw.key("n").value(n);
+  jw.key("latency_us").value(latency_us);
+  jw.key("async_depth").value(u64{async_depth});
+  jw.key("overlap").begin_arr();
   auto make_latency_ctx = [&]() {
     auto ctx = make_ctx(g);
     static_cast<MemoryDiskBackend&>(ctx->backend())
@@ -151,15 +159,24 @@ int main(int argc, char** argv) {
       wall[pass] = res.report.wall_seconds;
       ops[pass] = res.report.io.total_ops();
     }
+    const double passes = static_cast<double>(ops[0]) /
+                          (2.0 * static_cast<double>(n) / (g.rpb * g.disks));
+    const double speedup = wall[0] / std::max(1e-9, wall[1]);
     at.row()
         .cell(name)
-        .cell(static_cast<double>(ops[0]) /
-                  (2.0 * static_cast<double>(n) / (g.rpb * g.disks)),
-              3)
+        .cell(passes, 3)
         .cell(wall[0], 3)
         .cell(wall[1], 3)
-        .cell(wall[0] / std::max(1e-9, wall[1]), 2)
+        .cell(speedup, 2)
         .cell(ops[0] == ops[1]);
+    jw.begin_obj();
+    jw.key("algorithm").value(name);
+    jw.key("passes").value(passes);
+    jw.key("sync_wall_s").value(wall[0]);
+    jw.key("async_wall_s").value(wall[1]);
+    jw.key("speedup").value(speedup);
+    jw.key("ops_equal").value(ops[0] == ops[1]);
+    jw.end_obj();
   };
   overlap_case("ExpectedTwoPass",
                [&](PdmContext& c, const StripedRun<u64>& in, usize depth) {
@@ -189,6 +206,12 @@ int main(int argc, char** argv) {
                  return radix_sort<u64>(c, run, o);
                });
   at.print(std::cout);
+  jw.end_arr();
+  jw.end_obj();
+  if (!json_out.empty()) {
+    json_file_update(json_out, "e13_wallclock", jw.str());
+    std::cout << "wrote section e13_wallclock -> " << json_out << "\n";
+  }
   std::cout
       << "Expected shape: identical parallel-op counts (the accounting is "
          "charged at submission), with async wall-clock below sync by up "

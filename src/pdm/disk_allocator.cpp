@@ -2,34 +2,40 @@
 
 namespace pdm {
 
-DiskAllocator::DiskAllocator(u32 num_disks) : next_(num_disks, 0) {
+DiskAllocator::DiskAllocator(u32 num_disks)
+    : num_disks_(num_disks), next_(num_disks, 0) {
   PDM_CHECK(num_disks > 0, "need at least one disk");
 }
 
 BlockRef DiskAllocator::alloc(u32 disk) {
-  PDM_CHECK(disk < next_.size(), "alloc: disk out of range");
+  PDM_CHECK(disk < num_disks_, "alloc: disk out of range");
+  std::lock_guard g(mu_);
   return BlockRef{disk, next_[disk]++};
 }
 
 BlockRef DiskAllocator::alloc_contiguous(u32 disk, u64 count) {
-  PDM_CHECK(disk < next_.size(), "alloc: disk out of range");
+  PDM_CHECK(disk < num_disks_, "alloc: disk out of range");
+  std::lock_guard g(mu_);
   BlockRef first{disk, next_[disk]};
   next_[disk] += count;
   return first;
 }
 
 u64 DiskAllocator::used(u32 disk) const {
-  PDM_CHECK(disk < next_.size(), "used: disk out of range");
+  PDM_CHECK(disk < num_disks_, "used: disk out of range");
+  std::lock_guard g(mu_);
   return next_[disk];
 }
 
 u64 DiskAllocator::total_used() const {
+  std::lock_guard g(mu_);
   u64 t = 0;
   for (u64 n : next_) t += n;
   return t;
 }
 
 void DiskAllocator::reset() {
+  std::lock_guard g(mu_);
   for (auto& n : next_) n = 0;
 }
 

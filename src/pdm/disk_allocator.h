@@ -2,8 +2,13 @@
 // cursor. Runs allocate their blocks round-robin across disks (striping);
 // the allocator only hands out fresh indices, it never reuses space (the
 // simulator has no fragmentation concerns worth modelling).
+//
+// Thread-safe: one allocator is shared by every job context of a sort
+// service, so two concurrent sorts can never be handed the same block —
+// fresh indices are the entire cross-job isolation story.
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "pdm/block.h"
@@ -15,7 +20,7 @@ class DiskAllocator {
  public:
   explicit DiskAllocator(u32 num_disks);
 
-  u32 num_disks() const noexcept { return static_cast<u32>(next_.size()); }
+  u32 num_disks() const noexcept { return static_cast<u32>(num_disks_); }
 
   /// Allocates one fresh block on `disk`.
   BlockRef alloc(u32 disk);
@@ -34,6 +39,8 @@ class DiskAllocator {
   void reset();
 
  private:
+  mutable std::mutex mu_;
+  usize num_disks_;
   std::vector<u64> next_;
 };
 

@@ -83,6 +83,7 @@ void FileDiskBackend::write_batch(std::span<const WriteReq> reqs) {
       for (usize i = lo; i < hi; ++i) do_write(reqs[i]);
     });
   }
+  std::lock_guard g(marks_mu_);
   for (const auto& w : reqs) {
     blocks_written_[w.where.disk] =
         std::max(blocks_written_[w.where.disk], w.where.index + 1);
@@ -91,6 +92,7 @@ void FileDiskBackend::write_batch(std::span<const WriteReq> reqs) {
 
 u64 FileDiskBackend::disk_blocks(u32 disk) const {
   PDM_CHECK(disk < num_disks_, "disk out of range");
+  std::lock_guard g(marks_mu_);
   return blocks_written_[disk];
 }
 

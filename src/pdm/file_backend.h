@@ -3,6 +3,7 @@
 // operation really does hit all D "disks" at once.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,9 @@ class FileDiskBackend final : public DiskBackend {
   std::string dir_;
   bool keep_files_;
   std::vector<int> fds_;
+  // pread/pwrite are intrinsically thread-safe; only the high-water marks
+  // need guarding when concurrent job contexts share the backend.
+  mutable std::mutex marks_mu_;
   std::vector<u64> blocks_written_;  // high-water mark per disk
 };
 

@@ -62,10 +62,24 @@ u64 IoScheduler::account_read(std::span<const ReadReq> reqs) {
     ++stats_.disk_reads[r.where.disk];
   }
   const u64 rounds = count_rounds<ReadReq>(reqs, backend_->num_disks());
+  const double sim = static_cast<double>(rounds) *
+                     cost_.round_cost(backend_->block_bytes());
   stats_.read_ops += rounds;
   stats_.blocks_read += reqs.size();
-  stats_.sim_time_s +=
-      static_cast<double>(rounds) * cost_.round_cost(backend_->block_bytes());
+  stats_.sim_time_s += sim;
+  if (totals_ != nullptr) {
+    const usize nd = backend_->num_disks();
+    totals_->update([&](IoStats& t) {
+      if (t.disk_reads.size() < nd) {  // default-constructed aggregate
+        t.disk_reads.resize(nd, 0);
+        t.disk_writes.resize(nd, 0);
+      }
+      t.read_ops += rounds;
+      t.blocks_read += reqs.size();
+      t.sim_time_s += sim;
+      for (const auto& r : reqs) ++t.disk_reads[r.where.disk];
+    });
+  }
   return rounds;
 }
 
@@ -77,10 +91,24 @@ u64 IoScheduler::account_write(std::span<const WriteReq> reqs) {
     ++stats_.disk_writes[w.where.disk];
   }
   const u64 rounds = count_rounds<WriteReq>(reqs, backend_->num_disks());
+  const double sim = static_cast<double>(rounds) *
+                     cost_.round_cost(backend_->block_bytes());
   stats_.write_ops += rounds;
   stats_.blocks_written += reqs.size();
-  stats_.sim_time_s +=
-      static_cast<double>(rounds) * cost_.round_cost(backend_->block_bytes());
+  stats_.sim_time_s += sim;
+  if (totals_ != nullptr) {
+    const usize nd = backend_->num_disks();
+    totals_->update([&](IoStats& t) {
+      if (t.disk_writes.size() < nd) {  // default-constructed aggregate
+        t.disk_reads.resize(nd, 0);
+        t.disk_writes.resize(nd, 0);
+      }
+      t.write_ops += rounds;
+      t.blocks_written += reqs.size();
+      t.sim_time_s += sim;
+      for (const auto& w : reqs) ++t.disk_writes[w.where.disk];
+    });
+  }
   return rounds;
 }
 

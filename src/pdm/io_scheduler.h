@@ -58,11 +58,18 @@ class IoScheduler {
   void attach_pipeline(AsyncIoScheduler* pipeline) { pipeline_ = pipeline; }
   AsyncIoScheduler* pipeline() const noexcept { return pipeline_; }
 
+  /// Wires a shared aggregate: every accounting charge is mirrored into
+  /// `totals` (thread-safely) at the same submission points, so a service
+  /// holding one aggregate over many job schedulers sees per-job stats sum
+  /// exactly to its totals. Not owned; must outlive this scheduler.
+  void attach_totals(SharedIoTotals* totals) { totals_ = totals; }
+
  private:
   DiskBackend* backend_;
   CostModel cost_;
   IoStats stats_;
   AsyncIoScheduler* pipeline_ = nullptr;
+  SharedIoTotals* totals_ = nullptr;
 };
 
 }  // namespace pdm

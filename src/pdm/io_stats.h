@@ -6,6 +6,7 @@
 // exact, not assumed.
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "util/common.h"
@@ -85,7 +86,8 @@ struct IoStats {
   }
 };
 
-/// Difference of two snapshots (for per-phase reporting).
+/// Difference of two snapshots (for per-phase reporting). Per-disk counts
+/// are subtracted when both snapshots carry them.
 inline IoStats delta(const IoStats& after, const IoStats& before) {
   IoStats d;
   d.read_ops = after.read_ops - before.read_ops;
@@ -93,7 +95,49 @@ inline IoStats delta(const IoStats& after, const IoStats& before) {
   d.blocks_read = after.blocks_read - before.blocks_read;
   d.blocks_written = after.blocks_written - before.blocks_written;
   d.sim_time_s = after.sim_time_s - before.sim_time_s;
+  if (after.disk_reads.size() == before.disk_reads.size()) {
+    d.disk_reads.resize(after.disk_reads.size());
+    d.disk_writes.resize(after.disk_writes.size());
+    for (usize i = 0; i < after.disk_reads.size(); ++i) {
+      d.disk_reads[i] = after.disk_reads[i] - before.disk_reads[i];
+      d.disk_writes[i] = after.disk_writes[i] - before.disk_writes[i];
+    }
+  }
   return d;
 }
+
+/// Thread-safe aggregate of accounting deltas from many IoSchedulers.
+///
+/// A sort service gives every job its own context (hence its own
+/// IoScheduler and IoStats) and attaches one SharedIoTotals to all of
+/// them, so the service-wide totals are maintained live, at the same
+/// submission-time points as the per-job stats — per-job deltas sum
+/// exactly to these totals. The order-sensitive schedule_hash is not
+/// aggregated: interleaving across jobs is scheduler-dependent by design.
+class SharedIoTotals {
+ public:
+  explicit SharedIoTotals(u32 num_disks = 0) { total_.reset(num_disks); }
+
+  void reset(u32 num_disks) {
+    std::lock_guard g(mu_);
+    total_.reset(num_disks);
+  }
+
+  IoStats snapshot() const {
+    std::lock_guard g(mu_);
+    return total_;
+  }
+
+  /// Runs `fn(IoStats&)` under the lock; used by IoScheduler accounting.
+  template <class Fn>
+  void update(Fn&& fn) {
+    std::lock_guard g(mu_);
+    fn(total_);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  IoStats total_;
+};
 
 }  // namespace pdm

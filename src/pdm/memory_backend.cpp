@@ -7,7 +7,10 @@
 namespace pdm {
 
 MemoryDiskBackend::MemoryDiskBackend(u32 num_disks, usize block_bytes)
-    : num_disks_(num_disks), block_bytes_(block_bytes), disks_(num_disks) {
+    : num_disks_(num_disks),
+      block_bytes_(block_bytes),
+      disk_mu_(std::make_unique<std::mutex[]>(num_disks)),
+      disks_(num_disks) {
   PDM_CHECK(num_disks > 0, "need at least one disk");
   PDM_CHECK(block_bytes > 0, "block_bytes must be positive");
 }
@@ -22,6 +25,7 @@ void MemoryDiskBackend::read_batch(std::span<const ReadReq> reqs) {
   simulate_latency();
   for (const auto& r : reqs) {
     PDM_CHECK(r.where.disk < num_disks_, "read: disk out of range");
+    std::lock_guard g(disk_mu_[r.where.disk]);
     const auto& d = disks_[r.where.disk];
     const usize off = static_cast<usize>(r.where.index) * block_bytes_;
     PDM_CHECK(off + block_bytes_ <= d.size(),
@@ -36,6 +40,7 @@ void MemoryDiskBackend::write_batch(std::span<const WriteReq> reqs) {
   simulate_latency();
   for (const auto& w : reqs) {
     PDM_CHECK(w.where.disk < num_disks_, "write: disk out of range");
+    std::lock_guard g(disk_mu_[w.where.disk]);
     auto& d = disks_[w.where.disk];
     const usize off = static_cast<usize>(w.where.index) * block_bytes_;
     if (off + block_bytes_ > d.size()) d.resize(off + block_bytes_);
@@ -45,12 +50,16 @@ void MemoryDiskBackend::write_batch(std::span<const WriteReq> reqs) {
 
 u64 MemoryDiskBackend::disk_blocks(u32 disk) const {
   PDM_CHECK(disk < num_disks_, "disk out of range");
+  std::lock_guard g(disk_mu_[disk]);
   return disks_[disk].size() / block_bytes_;
 }
 
 usize MemoryDiskBackend::resident_bytes() const {
   usize total = 0;
-  for (const auto& d : disks_) total += d.size();
+  for (u32 d = 0; d < num_disks_; ++d) {
+    std::lock_guard g(disk_mu_[d]);
+    total += disks_[d].size();
+  }
   return total;
 }
 

@@ -1,9 +1,16 @@
 // In-memory disk array: the default backend for tests and model-level
 // benches. Reads of never-written blocks throw, which catches allocator and
 // layout bugs early.
+//
+// Thread-safe: a sort service shares one backend across concurrent job
+// contexts, each with its own async pipeline workers, so transfers on the
+// same disk can race. Each disk has its own mutex; the simulated latency
+// sleep stays outside the locks so overlapping jobs overlap their delays
+// (which is the whole point of measuring the service's throughput win).
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "pdm/disk_backend.h"
@@ -29,6 +36,7 @@ class MemoryDiskBackend final : public DiskBackend {
   /// disk. A synchronous pipeline pays it serially on the caller thread;
   /// the async pipeline overlaps it with computation and across disks —
   /// which is what bench_e13 measures. 0 (default) disables the sleep.
+  /// Set before any concurrent use; the sleep itself is lock-free.
   void set_simulated_latency_us(u64 micros) { latency_us_ = micros; }
   u64 simulated_latency_us() const noexcept { return latency_us_; }
 
@@ -38,6 +46,7 @@ class MemoryDiskBackend final : public DiskBackend {
   u32 num_disks_;
   usize block_bytes_;
   u64 latency_us_ = 0;
+  std::unique_ptr<std::mutex[]> disk_mu_;
   std::vector<std::vector<std::byte>> disks_;
 };
 

@@ -6,16 +6,30 @@
 namespace pdm {
 
 void MemoryBudget::acquire(usize bytes) {
-  if (current_ + bytes > limit_) {
-    fail("memory budget exceeded: want " + std::to_string(bytes) +
-         " bytes on top of " + std::to_string(current_) + ", limit " +
-         std::to_string(limit_));
+  {
+    std::lock_guard g(mu_);
+    if (current_ + bytes <= limit_) {
+      current_ += bytes;
+      peak_ = std::max(peak_, current_);
+      return;
+    }
   }
+  // fail() composes the message outside the lock.
+  fail("memory budget exceeded: want " + std::to_string(bytes) +
+       " bytes on top of " + std::to_string(current()) + ", limit " +
+       std::to_string(limit()));
+}
+
+bool MemoryBudget::try_acquire(usize bytes) noexcept {
+  std::lock_guard g(mu_);
+  if (current_ + bytes > limit_) return false;
   current_ += bytes;
   peak_ = std::max(peak_, current_);
+  return true;
 }
 
 void MemoryBudget::release(usize bytes) noexcept {
+  std::lock_guard g(mu_);
   current_ = bytes > current_ ? 0 : current_ - bytes;
 }
 

@@ -3,9 +3,17 @@
 // buffers. Every sorter acquires its working buffers through a
 // MemoryBudget, the report records the peak, and DESIGN.md documents the
 // per-algorithm slack constant that the tests then enforce.
+//
+// The budget is thread-safe: the sort service carves per-job budgets out
+// of a service-wide one, so reservations (admission control) and working
+// allocations race across worker threads. try_acquire is the non-throwing
+// admission primitive; acquire keeps the throwing contract sorters rely
+// on (exceeding a per-job carve is a bug in the slack constant, not a
+// schedulable condition).
 #pragma once
 
 #include <limits>
+#include <mutex>
 #include <span>
 
 #include "util/common.h"
@@ -17,19 +25,39 @@ class MemoryBudget {
   explicit MemoryBudget(usize limit_bytes = std::numeric_limits<usize>::max())
       : limit_(limit_bytes) {}
 
-  void set_limit(usize bytes) { limit_ = bytes; }
-  usize limit() const noexcept { return limit_; }
+  void set_limit(usize bytes) {
+    std::lock_guard g(mu_);
+    limit_ = bytes;
+  }
+  usize limit() const noexcept {
+    std::lock_guard g(mu_);
+    return limit_;
+  }
 
   /// Registers an allocation; throws pdm::Error if the limit is exceeded.
   void acquire(usize bytes);
 
+  /// Registers an allocation iff it fits; never throws. The admission
+  /// primitive: a reservation that fails leaves the budget untouched.
+  bool try_acquire(usize bytes) noexcept;
+
   void release(usize bytes) noexcept;
 
-  usize current() const noexcept { return current_; }
-  usize peak() const noexcept { return peak_; }
-  void reset_peak() { peak_ = current_; }
+  usize current() const noexcept {
+    std::lock_guard g(mu_);
+    return current_;
+  }
+  usize peak() const noexcept {
+    std::lock_guard g(mu_);
+    return peak_;
+  }
+  void reset_peak() {
+    std::lock_guard g(mu_);
+    peak_ = current_;
+  }
 
  private:
+  mutable std::mutex mu_;
   usize limit_;
   usize current_ = 0;
   usize peak_ = 0;
@@ -89,6 +117,7 @@ class TrackedBuffer {
     if (data_ != nullptr) {
       delete[] data_;
       budget_->release(bytes());
+      data_ = nullptr;
     }
   }
 

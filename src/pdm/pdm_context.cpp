@@ -11,9 +11,27 @@ PdmContext::PdmContext(std::unique_ptr<DiskBackend> backend, CostModel cost,
       sched_(*backend_, cost),
       aio_(sched_),
       write_behind_(aio_, &budget_),
-      alloc_(backend_->num_disks()),
+      own_alloc_(std::make_unique<DiskAllocator>(backend_->num_disks())),
+      alloc_(own_alloc_.get()),
       rng_(seed) {
   sched_.attach_pipeline(&aio_);
+}
+
+PdmContext::PdmContext(std::shared_ptr<DiskBackend> backend,
+                       DiskAllocator& shared_alloc, usize memory_limit_bytes,
+                       CostModel cost, u64 seed, SharedIoTotals* totals)
+    : backend_(std::move(backend)),
+      sched_(*backend_, cost),
+      aio_(sched_),
+      budget_(memory_limit_bytes),
+      write_behind_(aio_, &budget_),
+      own_alloc_(nullptr),
+      alloc_(&shared_alloc),
+      rng_(seed) {
+  PDM_CHECK(shared_alloc.num_disks() == backend_->num_disks(),
+            "shared allocator geometry does not match the backend");
+  sched_.attach_pipeline(&aio_);
+  if (totals != nullptr) sched_.attach_totals(totals);
 }
 
 std::unique_ptr<PdmContext> make_memory_context(u32 num_disks,

@@ -2,6 +2,17 @@
 // parallel-I/O scheduler (with its optional asynchronous pipeline), the
 // block allocator, the memory budget and a seeded RNG. One context = one
 // PDM machine.
+//
+// Two ownership modes:
+//  - Standalone (the classic one): the context owns its backend and its
+//    allocator; one machine, one algorithm thread.
+//  - Job context: shares a backend and a block allocator with other
+//    contexts (the sort service's multi-tenant mode). The context still
+//    owns its scheduler, pipeline, write-behind ring, budget and RNG, so
+//    per-job IoStats, async depth and memory carve stay isolated, while
+//    the shared thread-safe allocator guarantees two jobs are never handed
+//    the same block. An optional SharedIoTotals mirrors every accounting
+//    charge into a service-wide aggregate.
 #pragma once
 
 #include <memory>
@@ -19,9 +30,17 @@ namespace pdm {
 
 class PdmContext {
  public:
-  /// Takes ownership of the backend.
+  /// Standalone machine: takes ownership of the backend.
   explicit PdmContext(std::unique_ptr<DiskBackend> backend,
                       CostModel cost = {}, u64 seed = 1);
+
+  /// Job context over a shared machine: co-owns `backend`, allocates from
+  /// `shared_alloc` (which must outlive this context), and carves its own
+  /// MemoryBudget limited to `memory_limit_bytes`. When `totals` is
+  /// non-null every accounting charge is mirrored into it.
+  PdmContext(std::shared_ptr<DiskBackend> backend, DiskAllocator& shared_alloc,
+             usize memory_limit_bytes, CostModel cost = {}, u64 seed = 1,
+             SharedIoTotals* totals = nullptr);
 
   PdmContext(const PdmContext&) = delete;
   PdmContext& operator=(const PdmContext&) = delete;
@@ -32,10 +51,16 @@ class PdmContext {
   IoScheduler& io() noexcept { return sched_; }
   const IoScheduler& io() const noexcept { return sched_; }
   IoStats& stats() noexcept { return sched_.stats(); }
-  DiskAllocator& alloc() noexcept { return alloc_; }
+  DiskAllocator& alloc() noexcept { return *alloc_; }
   MemoryBudget& budget() noexcept { return budget_; }
   Rng& rng() noexcept { return rng_; }
   DiskBackend& backend() noexcept { return *backend_; }
+
+  /// The co-ownable backend handle, for spawning job contexts that share
+  /// this machine's disks.
+  std::shared_ptr<DiskBackend> shared_backend() const noexcept {
+    return backend_;
+  }
 
   /// The asynchronous pipeline (disabled unless async_depth >= 2).
   AsyncIoScheduler& aio() noexcept { return aio_; }
@@ -69,12 +94,13 @@ class PdmContext {
   }
 
  private:
-  std::unique_ptr<DiskBackend> backend_;
+  std::shared_ptr<DiskBackend> backend_;
   IoScheduler sched_;
   AsyncIoScheduler aio_;
   MemoryBudget budget_;  // before write_behind_, whose slabs it tracks
   WriteBehindRing write_behind_;
-  DiskAllocator alloc_;
+  std::unique_ptr<DiskAllocator> own_alloc_;  // null for job contexts
+  DiskAllocator* alloc_;
   Rng rng_;
 };
 

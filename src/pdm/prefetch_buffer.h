@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstring>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -53,9 +54,19 @@ class WriteBehindRing {
   WriteBehindRing(const WriteBehindRing&) = delete;
   WriteBehindRing& operator=(const WriteBehindRing&) = delete;
 
+  /// Caps the staging copy: batches larger than this bypass the ring and
+  /// run as ordered submit-and-wait writes (stats-identical, no copy, no
+  /// slab). Bounds write-behind memory to depth * cap — without a cap a
+  /// bulk producer staging a whole dataset in one batch would charge its
+  /// full size to the budget, which a service carving per-job budgets
+  /// cannot afford.
+  void set_max_slab_bytes(usize bytes) { max_slab_bytes_ = bytes; }
+  usize max_slab_bytes() const noexcept { return max_slab_bytes_; }
+
   /// Submits the batch with its payload copied into an internal slab; the
   /// caller's source buffers may be reused immediately. Synchronous (and
-  /// copy-free) while the pipeline is disabled.
+  /// copy-free) while the pipeline is disabled or the batch exceeds the
+  /// slab cap.
   IoTicket submit_copy(std::span<const WriteReq> reqs) {
     if (reqs.empty()) return 0;
     if (!aio_->enabled()) {
@@ -63,6 +74,10 @@ class WriteBehindRing {
       return 0;
     }
     const usize bb = aio_->sync().backend().block_bytes();
+    if (reqs.size() * bb > max_slab_bytes_) {
+      aio_->write(reqs);  // ordered through the per-disk queues
+      return 0;
+    }
     Slot& s = slots_[cur_];
     cur_ = (cur_ + 1) % slots_.size();
     aio_->wait(s.ticket);
@@ -100,6 +115,7 @@ class WriteBehindRing {
   MemoryBudget* budget_;
   std::vector<Slot> slots_;
   usize cur_ = 0;
+  usize max_slab_bytes_ = std::numeric_limits<usize>::max();
 };
 
 template <class R>

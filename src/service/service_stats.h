@@ -1,0 +1,53 @@
+// Aggregated serving metrics: per-job records plus the queue-latency and
+// throughput figures a capacity planner actually reads.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "service/sort_job.h"
+
+namespace pdm {
+
+struct ServiceStats {
+  u64 submitted = 0;
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 cancelled = 0;
+  u64 rejected = 0;
+  u64 deadline_missed = 0;
+  u64 batches_run = 0;  // worker tasks, counting a coalesced batch once
+
+  u64 plan_cache_hits = 0;
+  u64 plan_cache_misses = 0;
+
+  double queue_p50_s = 0;  // over jobs that reached a worker
+  double queue_p99_s = 0;
+  double queue_max_s = 0;
+
+  /// Completed jobs divided by the busy window (first start to last end).
+  double jobs_per_sec = 0;
+  double busy_window_s = 0;
+
+  /// Peak of the service-wide budget (sum of concurrent reservations).
+  usize peak_memory_bytes = 0;
+
+  /// Live service-wide I/O totals; per-job `JobInfo::io` deltas sum to
+  /// these exactly (see SharedIoTotals).
+  IoStats io;
+
+  /// One entry per submitted job, in submission order.
+  std::vector<JobInfo> jobs;
+};
+
+/// q-quantile (q in [0,1]) of a sample by the nearest-rank method.
+inline double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<usize>(
+      std::ceil(q * static_cast<double>(xs.size())));
+  return xs[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace pdm

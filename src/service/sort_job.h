@@ -1,0 +1,136 @@
+// Job-facing types of the sort service: the submission spec, the job
+// lifecycle states, the per-job execution environment handed to the typed
+// closure, and the shared plan cache that coalesces planner work across
+// jobs with the same (N, M, B, alpha) shape.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "core/adaptive.h"
+#include "core/sort_report.h"
+#include "pdm/pdm_context.h"
+
+namespace pdm {
+
+using JobId = u64;
+
+enum class JobState {
+  kQueued,     // accepted, waiting for a worker + memory reservation
+  kRunning,    // executing on a worker
+  kDone,       // completed; report and output callback delivered
+  kFailed,     // threw (infeasible plan, I/O error, budget bug)
+  kCancelled,  // cancelled while still queued
+  kRejected,   // admission control: can never be staged in this service
+};
+
+inline const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+inline bool job_state_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled || s == JobState::kRejected;
+}
+
+/// What a tenant submits alongside its dataset.
+struct SortJobSpec {
+  std::string name;
+
+  /// The M records the planner budgets this job with (required, > 0).
+  /// The service carves `carve_bytes` (or mem_slack * M * record size)
+  /// out of its memory budget before the job may start.
+  u64 mem_records = 0;
+
+  /// Higher priorities are admitted first; FIFO within a priority.
+  int priority = 0;
+
+  /// w.h.p. exponent for the expected-pass algorithms.
+  double alpha = 1.0;
+
+  /// Soft deadline in seconds from submission; 0 = none. The service does
+  /// not (yet) schedule by deadline — it records misses in the stats.
+  double deadline_s = 0;
+
+  /// Explicit memory carve override in bytes; 0 derives it from
+  /// mem_records and the record size via ServiceConfig::mem_slack.
+  usize carve_bytes = 0;
+};
+
+/// Snapshot of one job for stats/introspection.
+struct JobInfo {
+  JobId id = 0;
+  std::string name;
+  JobState state = JobState::kQueued;
+  u64 n = 0;
+  int priority = 0;
+  std::string algorithm;  // planner's pick, once known
+  std::string error;      // set for kFailed / kRejected
+  SortReport report;      // valid when state == kDone
+  IoStats io;             // whole-job I/O: staging + sort + callbacks
+  double queue_s = 0;     // submit -> start (or cancel)
+  double run_s = 0;       // start -> terminal
+  bool deadline_missed = false;
+  bool batched = false;   // ran coalesced with same-type small jobs
+};
+
+/// Caches AdaptiveSorter decisions by shape so a fleet of jobs sharing a
+/// record type (and hence B) costs one planner invocation per distinct
+/// (N, M, B, alpha) instead of one per job.
+class PlanCache {
+ public:
+  Algo choose(u64 n, u64 mem, u64 rpb, double alpha) {
+    const Key k{n, mem, rpb, alpha};
+    {
+      std::lock_guard g(mu_);
+      auto it = cache_.find(k);
+      if (it != cache_.end()) {
+        ++hits_;
+        return it->second;
+      }
+    }
+    // Planning outside the lock: choose_plan may throw (no feasible
+    // plan), which must not poison the cache or the mutex.
+    const Algo a = choose_plan(n, mem, rpb, alpha).algo;
+    std::lock_guard g(mu_);
+    ++misses_;
+    cache_.emplace(k, a);
+    return a;
+  }
+
+  u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+  u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  using Key = std::tuple<u64, u64, u64, double>;
+  std::mutex mu_;
+  std::map<Key, Algo> cache_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+};
+
+/// Execution environment the service hands to a job's typed closure: the
+/// per-job context (budget carved, async depth granted, stats isolated),
+/// the budgeted M, and the shared plan cache. The closure deposits its
+/// SortReport here.
+struct JobExec {
+  PdmContext& ctx;
+  u64 mem_records;
+  double alpha;
+  PlanCache& plans;
+  ThreadPool* pool = nullptr;
+  SortReport report;
+};
+
+}  // namespace pdm

@@ -1,0 +1,391 @@
+#include "service/sort_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace pdm {
+
+namespace {
+
+double seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+std::shared_ptr<DiskBackend> require_backend(std::shared_ptr<DiskBackend> b) {
+  PDM_CHECK(b != nullptr, "SortService needs a backend");
+  return b;
+}
+
+}  // namespace
+
+/// One submitted job. Queue-visible fields are guarded by the service
+/// mutex; while kRunning the executing worker stages results in locals
+/// and commits them under the mutex, so info()/stats() never race it.
+struct SortService::Job {
+  JobId id = 0;
+  SortJobSpec spec;
+  u64 n = 0;
+  usize record_bytes = 0;
+  u64 type_key = 0;
+  usize carve_bytes = 0;
+  bool batchable = false;
+  std::function<void(JobExec&)> run;
+
+  JobState state = JobState::kQueued;
+  std::string algorithm;
+  std::string error;
+  SortReport report;
+  IoStats io;
+  Clock::time_point t_submit;
+  Clock::time_point t_start;
+  Clock::time_point t_end;
+  bool deadline_missed = false;
+  bool batched = false;
+};
+
+SortService::SortService(std::shared_ptr<DiskBackend> backend,
+                         ServiceConfig cfg)
+    : backend_(require_backend(std::move(backend))),
+      cfg_(cfg),
+      alloc_(backend_->num_disks()),
+      budget_(cfg.total_memory_bytes),
+      io_totals_(backend_->num_disks()) {
+  PDM_CHECK(cfg_.workers > 0, "SortService needs at least one worker");
+  PDM_CHECK(cfg_.mem_slack >= 1.0, "mem_slack below 1 cannot stage a sort");
+  PDM_CHECK(cfg_.batch_max > 0, "batch_max must be positive");
+  workers_.reserve(cfg_.workers);
+  for (usize i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SortService::~SortService() {
+  {
+    std::lock_guard g(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+JobId SortService::submit_impl(SortJobSpec spec, u64 n, usize record_bytes,
+                               u64 type_key,
+                               std::function<void(JobExec&)> run) {
+  PDM_CHECK(spec.mem_records > 0, "SortJobSpec.mem_records must be > 0");
+  PDM_CHECK(n > 0, "cannot submit an empty sort job");
+  auto job = std::make_unique<Job>();
+  job->spec = std::move(spec);
+  job->n = n;
+  job->record_bytes = record_bytes;
+  job->type_key = type_key;
+  job->carve_bytes =
+      job->spec.carve_bytes != 0
+          ? job->spec.carve_bytes
+          : static_cast<usize>(cfg_.mem_slack *
+                               static_cast<double>(job->spec.mem_records) *
+                               static_cast<double>(record_bytes));
+  job->run = std::move(run);
+  job->t_submit = Clock::now();
+
+  std::lock_guard g(mu_);
+  PDM_CHECK(!stop_, "SortService is shutting down");
+  job->id = next_id_++;
+  const JobId id = job->id;
+  if (job->carve_bytes > budget_.limit()) {
+    // Admission control: this job can never be staged here.
+    job->state = JobState::kRejected;
+    job->error = "admission control: memory carve of " +
+                 std::to_string(job->carve_bytes) +
+                 " bytes exceeds the service budget of " +
+                 std::to_string(budget_.limit());
+    job->t_end = job->t_submit;
+    job->run = {};  // terminal: release the dataset the closure co-owns
+    jobs_.emplace(id, std::move(job));
+    return id;
+  }
+  job->batchable =
+      cfg_.small_job_records > 0 && n <= cfg_.small_job_records;
+  Job* raw = job.get();
+  const auto pos = std::upper_bound(
+      pending_.begin(), pending_.end(), raw, [](const Job* a, const Job* b) {
+        if (a->spec.priority != b->spec.priority) {
+          return a->spec.priority > b->spec.priority;
+        }
+        return a->id < b->id;
+      });
+  pending_.insert(pos, raw);
+  jobs_.emplace(id, std::move(job));
+  work_cv_.notify_one();
+  return id;
+}
+
+bool SortService::cancel(JobId id) {
+  std::lock_guard g(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  if (job.state != JobState::kQueued) return false;
+  job.state = JobState::kCancelled;
+  job.t_end = Clock::now();
+  job.run = {};  // safe: a claimed member is only run while still kQueued
+  std::erase(pending_, &job);
+  done_cv_.notify_all();
+  return true;
+}
+
+JobInfo SortService::wait(JobId id) {
+  std::unique_lock lock(mu_);
+  auto it = jobs_.find(id);
+  PDM_CHECK(it != jobs_.end(), "wait: unknown job id");
+  Job* job = it->second.get();
+  done_cv_.wait(lock, [&] { return job_state_terminal(job->state); });
+  return snapshot_locked(*job);
+}
+
+void SortService::drain() {
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock,
+                [&] { return pending_.empty() && active_tasks_ == 0; });
+}
+
+bool SortService::forget(JobId id) {
+  std::lock_guard g(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || !job_state_terminal(it->second->state)) {
+    return false;
+  }
+  jobs_.erase(it);
+  return true;
+}
+
+JobInfo SortService::info(JobId id) const {
+  std::lock_guard g(mu_);
+  auto it = jobs_.find(id);
+  PDM_CHECK(it != jobs_.end(), "info: unknown job id");
+  return snapshot_locked(*it->second);
+}
+
+JobInfo SortService::snapshot_locked(const Job& job) const {
+  JobInfo out;
+  out.id = job.id;
+  out.name = job.spec.name;
+  out.state = job.state;
+  out.n = job.n;
+  out.priority = job.spec.priority;
+  out.algorithm = job.algorithm;
+  out.error = job.error;
+  out.report = job.report;
+  out.io = job.io;
+  out.deadline_missed = job.deadline_missed;
+  out.batched = job.batched;
+  // A job failed by run_claim's catch never started; t_start is the
+  // ground truth, not the state.
+  const bool started = job.t_start != Clock::time_point{};
+  if (started) {
+    out.queue_s = seconds(job.t_start - job.t_submit);
+    if (job_state_terminal(job.state)) {
+      out.run_s = seconds(job.t_end - job.t_start);
+    }
+  } else if (job_state_terminal(job.state)) {
+    out.queue_s = seconds(job.t_end - job.t_submit);
+  } else {
+    out.queue_s = seconds(Clock::now() - job.t_submit);
+  }
+  return out;
+}
+
+ServiceStats SortService::stats() const {
+  std::lock_guard g(mu_);
+  ServiceStats s;
+  s.submitted = jobs_.size();
+  std::vector<double> queue_lat;
+  for (const auto& [id, jp] : jobs_) {
+    JobInfo info = snapshot_locked(*jp);
+    switch (info.state) {
+      case JobState::kDone: ++s.completed; break;
+      case JobState::kFailed: ++s.failed; break;
+      case JobState::kCancelled: ++s.cancelled; break;
+      case JobState::kRejected: ++s.rejected; break;
+      default: break;
+    }
+    if (info.state == JobState::kDone || info.state == JobState::kFailed) {
+      queue_lat.push_back(info.queue_s);
+    }
+    if (info.deadline_missed) ++s.deadline_missed;
+    s.jobs.push_back(std::move(info));
+  }
+  if (!queue_lat.empty()) {
+    s.queue_p50_s = quantile(queue_lat, 0.5);
+    s.queue_p99_s = quantile(queue_lat, 0.99);
+    s.queue_max_s = *std::max_element(queue_lat.begin(), queue_lat.end());
+  }
+  s.batches_run = batches_run_;
+  s.plan_cache_hits = plans_.hits();
+  s.plan_cache_misses = plans_.misses();
+  s.peak_memory_bytes = budget_.peak();
+  s.io = io_totals_.snapshot();
+  if (s.completed > 0 && any_start_) {
+    s.busy_window_s = seconds(last_end_ - first_start_);
+    s.jobs_per_sec =
+        static_cast<double>(s.completed) / std::max(1e-9, s.busy_window_s);
+  }
+  return s;
+}
+
+SortService::Claim SortService::try_claim_locked() {
+  for (usize i = 0; i < pending_.size(); ++i) {
+    Job* head = pending_[i];
+    Claim claim;
+    claim.members.push_back(head);
+    claim.carve = head->carve_bytes;
+    if (head->batchable) {
+      for (usize k = i + 1;
+           k < pending_.size() && claim.members.size() < cfg_.batch_max;
+           ++k) {
+        Job* other = pending_[k];
+        if (other->batchable && other->type_key == head->type_key) {
+          claim.members.push_back(other);
+          // Members run sequentially over one context, so the batch needs
+          // only the largest member's carve at any moment.
+          claim.carve = std::max(claim.carve, other->carve_bytes);
+        }
+      }
+    }
+    // Backfill: if the head of the queue cannot reserve memory right now,
+    // a smaller job further back may still be admittable.
+    if (!budget_.try_acquire(claim.carve)) continue;
+    if (claim.members.size() > 1) {
+      for (Job* j : claim.members) j->batched = true;
+    }
+    std::erase_if(pending_, [&](Job* j) {
+      return std::find(claim.members.begin(), claim.members.end(), j) !=
+             claim.members.end();
+    });
+    return claim;
+  }
+  return {};
+}
+
+usize SortService::grant_depth_locked() {
+  if (cfg_.io_depth_total < 2) return 0;
+  const usize share =
+      std::max<usize>(2, cfg_.io_depth_total / std::max<usize>(1, cfg_.workers));
+  const usize avail = cfg_.io_depth_total - depth_in_use_;
+  const usize depth = std::min(share, avail);
+  if (depth < 2) return 0;
+  depth_in_use_ += depth;
+  return depth;
+}
+
+void SortService::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    Claim claim = try_claim_locked();
+    if (claim.members.empty()) {
+      if (stop_ && pending_.empty()) return;
+      work_cv_.wait(lock);
+      continue;
+    }
+    ++active_tasks_;
+    const usize depth = grant_depth_locked();
+    ++batches_run_;
+    lock.unlock();
+
+    run_claim(claim, depth);
+    budget_.release(claim.carve);
+
+    lock.lock();
+    --active_tasks_;
+    depth_in_use_ -= depth;
+    work_cv_.notify_all();  // freed memory and depth: others may admit
+    done_cv_.notify_all();
+  }
+}
+
+void SortService::run_claim(Claim& claim, usize depth) {
+  try {
+    PdmContext ctx(backend_, alloc_, claim.carve, cfg_.cost,
+                   cfg_.seed + claim.members.front()->id, &io_totals_);
+    if (depth >= 2) ctx.set_async_depth(depth);
+    for (Job* j : claim.members) run_one(*j, ctx);
+  } catch (const std::exception& e) {
+    // Context setup or teardown failed: every member that has not reached
+    // a terminal state goes down with it.
+    const auto now = Clock::now();
+    std::lock_guard g(mu_);
+    for (Job* j : claim.members) {
+      if (job_state_terminal(j->state)) continue;
+      j->state = JobState::kFailed;
+      j->error = e.what();
+      j->t_end = now;
+      j->run = {};
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void SortService::run_one(Job& job, PdmContext& ctx) {
+  {
+    std::lock_guard g(mu_);
+    if (job.state != JobState::kQueued) return;  // cancelled after claim
+    job.state = JobState::kRunning;
+    job.t_start = Clock::now();
+    if (!any_start_ || job.t_start < first_start_) {
+      first_start_ = job.t_start;
+      any_start_ = true;
+    }
+  }
+  // Bound write-behind staging to ~M bytes per slab so a bulk write of
+  // the whole dataset cannot blow the job's carve; oversized batches run
+  // as ordered synchronous writes instead (stats-identical).
+  ctx.write_behind().set_max_slab_bytes(
+      std::max<usize>(static_cast<usize>(job.spec.mem_records) *
+                          job.record_bytes,
+                      2 * ctx.D() * ctx.block_bytes()));
+  const IoStats before = ctx.stats();
+  SortReport report;
+  std::string error;
+  bool ok = true;
+  try {
+    JobExec ex{ctx,         job.spec.mem_records, job.spec.alpha,
+               plans_,      cfg_.sort_pool,       {}};
+    job.run(ex);
+    report = std::move(ex.report);
+  } catch (const std::exception& e) {
+    ok = false;
+    error = e.what();
+  }
+  try {
+    // Settle in-flight writes so the stats delta below is this job's
+    // complete I/O (ReportBuilder drained the success path already; this
+    // covers failures and callback-issued reads).
+    ctx.aio().drain();
+  } catch (const std::exception& e) {
+    if (ok) {
+      ok = false;
+      error = e.what();
+    }
+  }
+  const IoStats after = ctx.stats();
+  const auto end = Clock::now();
+
+  std::lock_guard g(mu_);
+  job.t_end = end;
+  last_end_ = std::max(last_end_, end);
+  job.run = {};  // terminal: release the dataset/callback captures
+  job.io = delta(after, before);
+  if (ok) {
+    job.state = JobState::kDone;
+    job.algorithm = report.algorithm;
+    job.report = std::move(report);
+  } else {
+    job.state = JobState::kFailed;
+    job.error = std::move(error);
+  }
+  job.deadline_missed =
+      job.spec.deadline_s > 0 &&
+      seconds(job.t_end - job.t_submit) > job.spec.deadline_s;
+  done_cv_.notify_all();
+}
+
+}  // namespace pdm

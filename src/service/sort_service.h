@@ -1,0 +1,185 @@
+// pdm::SortService — a multi-tenant sort-job scheduler.
+//
+// The paper's algorithms answer "how do I sort one dataset in the fewest
+// passes?"; the service answers "how do I serve many such sorts at once
+// over shared disks and shared memory?". It composes the existing pieces:
+//
+//  - admission control: every job must reserve a memory carve
+//    (try_acquire on the service-wide MemoryBudget) before it may start;
+//    jobs whose carve can never fit are rejected at submission, the rest
+//    queue until memory frees up;
+//  - planning: each admitted job is planned through AdaptiveSorter with
+//    its *budgeted* M (not the machine's), via a PlanCache so jobs
+//    sharing a shape cost one planner invocation;
+//  - execution: a fixed pool of service workers runs jobs concurrently,
+//    each in its own job PdmContext (shared backend + shared thread-safe
+//    block allocator, private scheduler/budget/RNG);
+//  - I/O arbitration: the async pipeline depth granted to a job is its
+//    share of ServiceConfig::io_depth_total, so the aggregate
+//    prefetch/write-behind buffering across active jobs never exceeds
+//    the service's I/O budget (jobs that cannot get a depth >= 2 run
+//    synchronously);
+//  - batching: small jobs sharing a record type coalesce into one worker
+//    task over one context;
+//  - observability: ServiceStats aggregates per-job reports, queue
+//    latency percentiles, throughput and live service-wide IoStats that
+//    per-job deltas sum to exactly.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <typeinfo>
+#include <vector>
+
+#include "pdm/striped_run.h"
+#include "service/service_stats.h"
+#include "service/sort_job.h"
+
+namespace pdm {
+
+struct ServiceConfig {
+  /// Concurrent worker threads (= max jobs/batches in flight).
+  usize workers = 4;
+
+  /// Service-wide memory budget that job carves are reserved from.
+  usize total_memory_bytes = usize{256} << 20;
+
+  /// Aggregate async pipeline depth shared by active jobs; < 2 keeps
+  /// every job synchronous.
+  usize io_depth_total = 8;
+
+  /// Default carve = mem_slack * mem_records * sizeof(record): the
+  /// documented per-algorithm working-set slack (~2.5M) plus the async
+  /// pipeline's extra load buffer and write-behind slabs, rounded up.
+  double mem_slack = 6.0;
+
+  /// Jobs with n <= this coalesce with same-record-type jobs into one
+  /// worker task (0 disables batching).
+  u64 small_job_records = 0;
+
+  /// Max jobs coalesced into one batch.
+  usize batch_max = 8;
+
+  CostModel cost{};
+  u64 seed = 1;
+
+  /// Optional pool for internal sorting, shared across jobs (ThreadPool
+  /// is thread-safe). Null keeps each job's CPU work on its worker.
+  ThreadPool* sort_pool = nullptr;
+};
+
+class SortService {
+ public:
+  /// Co-owns `backend`; the service's allocator and I/O totals are sized
+  /// to its geometry. Workers start immediately.
+  explicit SortService(std::shared_ptr<DiskBackend> backend,
+                       ServiceConfig cfg = {});
+
+  /// Drains every queued and running job, then joins the workers.
+  ~SortService();
+
+  SortService(const SortService&) = delete;
+  SortService& operator=(const SortService&) = delete;
+
+  /// Submits a sort job over `data` (moved in; freed as soon as the job
+  /// has staged it onto the disks). `on_complete`, if given, runs on the
+  /// worker thread right after the sort, while the job's output run and
+  /// context are still alive — read the output there. Returns the job id
+  /// immediately; rejected jobs get JobState::kRejected (never throw).
+  template <Record R, class Cmp = std::less<R>>
+  JobId submit(SortJobSpec spec, std::vector<R> data, Cmp cmp = {},
+               std::function<void(const SortResult<R>&)> on_complete = {}) {
+    const u64 n = data.size();
+    auto payload = std::make_shared<std::vector<R>>(std::move(data));
+    auto run = [payload, cmp, cb = std::move(on_complete)](JobExec& ex) {
+      auto in = write_input_run<R>(ex.ctx, std::span<const R>(*payload));
+      payload->clear();
+      payload->shrink_to_fit();
+      AdaptiveOptions o;
+      o.mem_records = ex.mem_records;
+      o.alpha = ex.alpha;
+      o.pool = ex.pool;
+      o.force = ex.plans.choose(in.size(), ex.mem_records,
+                                ex.ctx.rpb<R>(), ex.alpha);
+      auto res = pdm_sort<R>(ex.ctx, in, o, cmp);
+      ex.report = res.report;
+      if (cb) cb(res);
+    };
+    return submit_impl(std::move(spec), n, sizeof(R), typeid(R).hash_code(),
+                       std::move(run));
+  }
+
+  /// Cancels a job that is still queued (including claimed-but-not-yet-
+  /// started batch members). Returns false if unknown or already past
+  /// the queue — running jobs are not interrupted.
+  bool cancel(JobId id);
+
+  /// Blocks until the job reaches a terminal state; returns its record.
+  JobInfo wait(JobId id);
+
+  /// Blocks until no job is queued or running.
+  void drain();
+
+  /// Snapshot of one job (throws on unknown id).
+  JobInfo info(JobId id) const;
+
+  /// Drops the record of a terminal job so a long-lived service does not
+  /// retain every job ever submitted. Returns false if the id is unknown
+  /// or the job is still queued/running. Aggregate counters in stats()
+  /// lose the forgotten job's contribution except the live I/O totals.
+  bool forget(JobId id);
+
+  /// Snapshot of the whole service.
+  ServiceStats stats() const;
+
+  /// The service-wide budget (reservations; peak = admission pressure).
+  MemoryBudget& budget() noexcept { return budget_; }
+
+  DiskBackend& backend() noexcept { return *backend_; }
+  const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Job;
+  struct Claim {
+    std::vector<Job*> members;
+    usize carve = 0;
+  };
+  using Clock = std::chrono::steady_clock;
+
+  JobId submit_impl(SortJobSpec spec, u64 n, usize record_bytes, u64 type_key,
+                    std::function<void(JobExec&)> run);
+  void worker_loop();
+  Claim try_claim_locked();
+  usize grant_depth_locked();
+  void run_claim(Claim& claim, usize depth);
+  void run_one(Job& job, PdmContext& ctx);
+  JobInfo snapshot_locked(const Job& job) const;
+
+  std::shared_ptr<DiskBackend> backend_;
+  ServiceConfig cfg_;
+  DiskAllocator alloc_;
+  MemoryBudget budget_;
+  SharedIoTotals io_totals_;
+  PlanCache plans_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue or memory changed
+  std::condition_variable done_cv_;  // waiters: a job reached terminal
+  std::vector<std::thread> workers_;
+  std::map<JobId, std::unique_ptr<Job>> jobs_;  // id order = submit order
+  std::vector<Job*> pending_;  // sorted: priority desc, then id asc
+  JobId next_id_ = 1;
+  bool stop_ = false;
+  usize active_tasks_ = 0;
+  usize depth_in_use_ = 0;
+  u64 batches_run_ = 0;
+  bool any_start_ = false;
+  Clock::time_point first_start_;
+  Clock::time_point last_end_;
+};
+
+}  // namespace pdm

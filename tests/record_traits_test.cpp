@@ -1,0 +1,113 @@
+// KeyTraits projections: signed integrals (bias map) and KeyPair
+// composite keys (lexicographic packing), including an end-to-end radix
+// sort over signed keys to prove the projection composes with the
+// key-driven sorters.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/radix_sort.h"
+#include "pdm/record.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace pdm {
+namespace {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+
+template <class T>
+void expect_order_preserving(const std::vector<T>& values) {
+  for (usize i = 0; i < values.size(); ++i) {
+    for (usize j = 0; j < values.size(); ++j) {
+      EXPECT_EQ(values[i] < values[j],
+                record_key(values[i]) < record_key(values[j]))
+          << "pair (" << +values[i] << ", " << +values[j] << ")";
+      EXPECT_EQ(values[i] == values[j],
+                record_key(values[i]) == record_key(values[j]));
+    }
+  }
+}
+
+TEST(SignedKeyTraits, ExhaustiveI8)
+{
+  std::vector<i8> all;
+  for (int v = -128; v <= 127; ++v) all.push_back(static_cast<i8>(v));
+  expect_order_preserving(all);
+  // The bias map stays within the type's width.
+  for (i8 v : all) EXPECT_LT(record_key(v), u64{1} << 8);
+}
+
+TEST(SignedKeyTraits, BoundaryAndRandomWiderTypes)
+{
+  expect_order_preserving<i16>(
+      {std::numeric_limits<i16>::min(), -1000, -1, 0, 1, 1000,
+       std::numeric_limits<i16>::max()});
+  expect_order_preserving<i32>(
+      {std::numeric_limits<i32>::min(), -70000, -1, 0, 1, 70000,
+       std::numeric_limits<i32>::max()});
+  std::vector<i64> v64{std::numeric_limits<i64>::min(), -1, 0, 1,
+                       std::numeric_limits<i64>::max()};
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) v64.push_back(static_cast<i64>(rng.next()));
+  expect_order_preserving(v64);
+}
+
+TEST(KeyPairTraits, LexicographicOrderMatchesKeyOrder)
+{
+  using P = KeyPair<i32, u32>;
+  static_assert(Record<P>);
+  std::vector<P> vals;
+  Rng rng(11);
+  const std::vector<i32> firsts{std::numeric_limits<i32>::min(), -5, 0, 5,
+                                std::numeric_limits<i32>::max()};
+  const std::vector<u32> seconds{0, 1, 77, std::numeric_limits<u32>::max()};
+  for (i32 f : firsts)
+    for (u32 s : seconds) vals.push_back(P{f, s});
+  for (int i = 0; i < 200; ++i) {
+    vals.push_back(P{static_cast<i32>(rng.next()),
+                     static_cast<u32>(rng.next())});
+  }
+  for (const P& a : vals) {
+    for (const P& b : vals) {
+      EXPECT_EQ(a < b, record_key(a) < record_key(b));
+      EXPECT_EQ(a == b, record_key(a) == record_key(b));
+    }
+  }
+}
+
+TEST(KeyPairTraits, NestedPairsPackByWidth)
+{
+  using Inner = KeyPair<u16, u16>;
+  using P = KeyPair<Inner, u32>;
+  static_assert(Record<P>);
+  const P a{{1, 2}, 3};
+  const P b{{1, 3}, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(record_key(a), record_key(b));
+  // Inner pack occupies the top 32 bits.
+  EXPECT_EQ(record_key(a) >> 32, (u64{1} << 16) | 2);
+}
+
+TEST(SignedKeyTraits, RadixSortSortsSignedKeys)
+{
+  const auto g = test::Geometry::square(1024);
+  auto ctx = test::make_ctx<i64>(g);
+  Rng rng(3);
+  std::vector<i64> data(1024 * 8);
+  for (auto& x : data) {
+    x = static_cast<i64>(rng.next()) >> 20;  // mixed-sign, 44-bit magnitude
+  }
+  auto in = test::stage_input<i64>(*ctx, data);
+  RadixSortOptions opt;
+  opt.mem_records = 1024;
+  opt.key_bits = 64;
+  auto res = radix_sort<i64>(*ctx, in, opt);
+  test::expect_sorted_output<i64>(res.output, data);
+}
+
+}  // namespace
+}  // namespace pdm

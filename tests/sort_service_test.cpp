@@ -1,0 +1,353 @@
+// SortService: multi-tenant scheduling over shared disks and memory.
+// Covers admission control (blocking and rejection), mid-queue
+// cancellation, small-job batching, failure isolation, concurrent
+// stress with mixed record types, and the accounting invariant that
+// per-job IoStats sum exactly to the service-wide totals. The whole
+// file must be TSan-clean (CI runs it under -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "pdm/memory_backend.h"
+#include "service/sort_service.h"
+#include "test_support.h"
+#include "util/generators.h"
+
+namespace pdm {
+namespace {
+
+constexpr u64 kMem = 1024;          // per-job M in records
+constexpr usize kBlockBytes = 256;  // rpb: u64=32, KV64=16, i32=64
+constexpr u32 kDisks = 8;
+
+std::shared_ptr<MemoryDiskBackend> make_backend(u64 latency_us = 0) {
+  auto b = std::make_shared<MemoryDiskBackend>(kDisks, kBlockBytes);
+  b->set_simulated_latency_us(latency_us);
+  return b;
+}
+
+SortJobSpec spec_of(std::string name, int priority = 0) {
+  SortJobSpec s;
+  s.name = std::move(name);
+  s.mem_records = kMem;
+  s.priority = priority;
+  return s;
+}
+
+/// Submits a u64 job whose callback verifies the output equals std::sort
+/// of the input; `ok` counts verified jobs, `bad` counts any mismatch.
+JobId submit_verified(SortService& svc, SortJobSpec spec,
+                      std::vector<u64> data, std::atomic<int>& ok,
+                      std::atomic<int>& bad) {
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  return svc.submit<u64>(
+      std::move(spec), std::move(data), std::less<u64>{},
+      [expected = std::move(expected), &ok, &bad](const SortResult<u64>& res) {
+        auto got = res.output.read_all();
+        if (got == expected) {
+          ++ok;
+        } else {
+          ++bad;
+        }
+      });
+}
+
+TEST(SortService, BasicJobsCompleteSorted)
+{
+  SortService svc(make_backend(), ServiceConfig{.workers = 2});
+  Rng rng(1);
+  std::atomic<int> ok{0}, bad{0};
+  std::vector<JobId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(submit_verified(
+        svc, spec_of("job" + std::to_string(i)),
+        make_keys(4 * kMem, Dist::kPermutation, rng), ok, bad));
+  }
+  for (JobId id : ids) {
+    JobInfo info = svc.wait(id);
+    EXPECT_EQ(info.state, JobState::kDone);
+    EXPECT_FALSE(info.algorithm.empty());
+    EXPECT_EQ(info.report.n, 4 * kMem);
+    EXPECT_GT(info.report.passes, 0.0);
+    EXPECT_GT(info.io.total_ops(), 0u);
+  }
+  EXPECT_EQ(ok.load(), 3);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(SortService, AdmissionRejectsJobThatCanNeverFit)
+{
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.total_memory_bytes = usize{1} << 20;
+  SortService svc(make_backend(), cfg);
+  SortJobSpec spec = spec_of("hog");
+  spec.mem_records = u64{1} << 20;  // carve = slack * 1M * 8B >> 1MB
+  Rng rng(2);
+  const JobId id =
+      svc.submit<u64>(spec, make_keys(1024, Dist::kUniform, rng));
+  JobInfo info = svc.wait(id);  // terminal immediately, no blocking
+  EXPECT_EQ(info.state, JobState::kRejected);
+  EXPECT_NE(info.error.find("admission control"), std::string::npos);
+}
+
+TEST(SortService, AdmissionBlocksUntilMemoryFrees)
+{
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  // Room for exactly one default carve at a time.
+  cfg.total_memory_bytes =
+      static_cast<usize>(cfg.mem_slack * kMem * sizeof(u64)) + 1024;
+  SortService svc(make_backend(), cfg);
+  Rng rng(3);
+  std::atomic<int> ok{0}, bad{0};
+  std::vector<JobId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(submit_verified(
+        svc, spec_of("serial" + std::to_string(i)),
+        make_keys(2 * kMem, Dist::kPermutation, rng), ok, bad));
+  }
+  for (JobId id : ids) EXPECT_EQ(svc.wait(id).state, JobState::kDone);
+  EXPECT_EQ(ok.load(), 3);
+  EXPECT_EQ(bad.load(), 0);
+  // Reservations never exceeded the service budget.
+  EXPECT_LE(svc.stats().peak_memory_bytes, cfg.total_memory_bytes);
+}
+
+TEST(SortService, CancelMidQueue)
+{
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  SortService svc(make_backend(200), cfg);  // latency keeps the worker busy
+  Rng rng(4);
+  std::atomic<int> ok{0}, bad{0};
+  const JobId running = submit_verified(
+      svc, spec_of("running"), make_keys(8 * kMem, Dist::kPermutation, rng),
+      ok, bad);
+  std::atomic<int> cancelled_ran{0};
+  std::vector<JobId> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(svc.submit<u64>(
+        spec_of("victim" + std::to_string(i)),
+        make_keys(2 * kMem, Dist::kUniform, rng), std::less<u64>{},
+        [&](const SortResult<u64>&) { ++cancelled_ran; }));
+  }
+  usize cancelled = 0;
+  for (JobId id : queued) cancelled += svc.cancel(id) ? 1 : 0;
+  EXPECT_GE(cancelled, 3u);  // the worker can have started at most one
+  svc.drain();
+  EXPECT_EQ(svc.wait(running).state, JobState::kDone);
+  usize observed_cancelled = 0;
+  for (JobId id : queued) {
+    const JobInfo info = svc.info(id);
+    EXPECT_TRUE(info.state == JobState::kCancelled ||
+                info.state == JobState::kDone);
+    observed_cancelled += info.state == JobState::kCancelled ? 1 : 0;
+  }
+  EXPECT_EQ(observed_cancelled, cancelled);
+  EXPECT_EQ(static_cast<usize>(cancelled_ran.load()),
+            queued.size() - cancelled);
+  // Cancelling a finished or unknown job is a no-op.
+  EXPECT_FALSE(svc.cancel(running));
+  EXPECT_FALSE(svc.cancel(9999));
+  // Terminal records can be dropped; unknown ids cannot.
+  EXPECT_TRUE(svc.forget(running));
+  EXPECT_FALSE(svc.forget(running));
+  EXPECT_EQ(svc.stats().submitted, queued.size());
+}
+
+TEST(SortService, InfeasibleShapeFailsCleanly)
+{
+  SortService svc(make_backend(), ServiceConfig{.workers = 1});
+  Rng rng(5);
+  // n > M and not block-aligned: no paper algorithm or baseline fits.
+  const JobId id = svc.submit<u64>(spec_of("misaligned"),
+                                   make_keys(1234, Dist::kUniform, rng));
+  JobInfo info = svc.wait(id);
+  EXPECT_EQ(info.state, JobState::kFailed);
+  EXPECT_NE(info.error.find("no feasible plan"), std::string::npos);
+  // The failure did not poison the service.
+  std::atomic<int> ok{0}, bad{0};
+  const JobId good = submit_verified(svc, spec_of("after"),
+                                     make_keys(2 * kMem, Dist::kPermutation,
+                                               rng),
+                                     ok, bad);
+  EXPECT_EQ(svc.wait(good).state, JobState::kDone);
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(SortService, BatchingCoalescesSmallJobs)
+{
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.small_job_records = kMem;  // n <= M: internal-sort sized
+  cfg.batch_max = 4;
+  SortService svc(make_backend(100), cfg);
+  Rng rng(6);
+  std::atomic<int> ok{0}, bad{0};
+  // Blocker occupies the single worker while the small jobs queue up.
+  const JobId blocker = submit_verified(
+      svc, spec_of("blocker"), make_keys(8 * kMem, Dist::kPermutation, rng),
+      ok, bad);
+  std::vector<JobId> smalls;
+  for (int i = 0; i < 6; ++i) {
+    smalls.push_back(submit_verified(
+        svc, spec_of("small" + std::to_string(i)),
+        make_keys(kMem / 2, Dist::kUniform, rng), ok, bad));
+  }
+  svc.drain();
+  EXPECT_EQ(svc.wait(blocker).state, JobState::kDone);
+  for (JobId id : smalls) EXPECT_EQ(svc.wait(id).state, JobState::kDone);
+  EXPECT_EQ(ok.load(), 7);
+  EXPECT_EQ(bad.load(), 0);
+  const ServiceStats st = svc.stats();
+  // 6 small jobs coalesced into at most ceil(6/4)+1 extra claims; without
+  // batching this would be 7 worker tasks.
+  EXPECT_LT(st.batches_run, 7u);
+  // One planner invocation per distinct shape, not per job.
+  EXPECT_LE(st.plan_cache_misses, 2u);
+  EXPECT_GE(st.plan_cache_hits, 5u);
+}
+
+TEST(SortService, ConcurrentPassCountsMatchSingleJobBaseline)
+{
+  Rng rng(7);
+  const auto data = make_keys(4 * kMem, Dist::kPermutation, rng);
+  double solo_passes = 0;
+  std::string solo_algo;
+  {
+    SortService svc(make_backend(), ServiceConfig{.workers = 1});
+    const JobId id = svc.submit<u64>(spec_of("solo"), data);
+    const JobInfo info = svc.wait(id);
+    ASSERT_EQ(info.state, JobState::kDone);
+    solo_passes = info.report.passes;
+    solo_algo = info.algorithm;
+  }
+  SortService svc(make_backend(), ServiceConfig{.workers = 4});
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(svc.submit<u64>(spec_of("par" + std::to_string(i)), data));
+  }
+  for (JobId id : ids) {
+    const JobInfo info = svc.wait(id);
+    ASSERT_EQ(info.state, JobState::kDone);
+    EXPECT_EQ(info.algorithm, solo_algo);
+    EXPECT_DOUBLE_EQ(info.report.passes, solo_passes)
+        << "contention must not change a job's I/O complexity";
+  }
+}
+
+TEST(SortService, StressMixedWorkloadAccountingInvariant)
+{
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.io_depth_total = 8;
+  cfg.small_job_records = 512;
+  cfg.total_memory_bytes = usize{64} << 20;
+  SortService svc(make_backend(20), cfg);
+  Rng rng(8);
+  std::atomic<int> ok{0}, bad{0};
+  std::vector<JobId> all;
+
+  for (int round = 0; round < 6; ++round) {
+    // Large and medium u64 jobs at mixed priorities.
+    all.push_back(submit_verified(
+        svc, spec_of("u64-big" + std::to_string(round), round % 3),
+        make_keys(8 * kMem, Dist::kPermutation, rng), ok, bad));
+    all.push_back(submit_verified(
+        svc, spec_of("u64-mid" + std::to_string(round), 1),
+        make_keys(2 * kMem, Dist::kZipf, rng), ok, bad));
+    // Batchable small jobs.
+    all.push_back(submit_verified(
+        svc, spec_of("u64-small" + std::to_string(round)),
+        make_keys(256, Dist::kUniform, rng), ok, bad));
+    // KV64 payload jobs.
+    all.push_back(svc.submit<KV64>(
+        spec_of("kv" + std::to_string(round), 2),
+        make_kv(2 * kMem, Dist::kFewDistinct, rng)));
+    // Signed-key jobs through the new KeyTraits.
+    std::vector<std::int32_t> signed_data(2 * kMem);
+    for (auto& x : signed_data) x = static_cast<std::int32_t>(rng.next());
+    all.push_back(svc.submit<std::int32_t>(
+        spec_of("i32-" + std::to_string(round)), std::move(signed_data)));
+  }
+  // A failure and a rejection mixed into the running system.
+  all.push_back(svc.submit<u64>(spec_of("infeasible"),
+                                make_keys(1234, Dist::kUniform, rng)));
+  SortJobSpec hog = spec_of("hog");
+  hog.mem_records = u64{1} << 24;
+  all.push_back(svc.submit<u64>(hog, make_keys(64, Dist::kUniform, rng)));
+  // Cancel a few queued jobs while workers churn.
+  usize cancelled = 0;
+  for (usize i = 0; i < all.size(); i += 7) {
+    cancelled += svc.cancel(all[i]) ? 1 : 0;
+  }
+  svc.drain();
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.submitted, all.size());
+  EXPECT_EQ(st.completed + st.failed + st.cancelled + st.rejected,
+            st.submitted);
+  EXPECT_EQ(st.cancelled, cancelled);
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_GE(st.failed, 1u);
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_LE(st.peak_memory_bytes, cfg.total_memory_bytes);
+  EXPECT_GT(st.jobs_per_sec, 0.0);
+  EXPECT_GE(st.queue_p99_s, st.queue_p50_s);
+
+  // Every job's report stayed within its memory carve.
+  for (const JobInfo& j : st.jobs) {
+    if (j.state != JobState::kDone) continue;
+    EXPECT_LE(j.report.peak_memory_bytes,
+              static_cast<usize>(cfg.mem_slack * kMem * sizeof(KV64)))
+        << j.name;
+  }
+
+  // The accounting invariant: per-job deltas sum exactly to the live
+  // service totals — nothing double-counted, nothing lost.
+  IoStats sum;
+  sum.reset(kDisks);
+  for (const JobInfo& j : st.jobs) {
+    sum.read_ops += j.io.read_ops;
+    sum.write_ops += j.io.write_ops;
+    sum.blocks_read += j.io.blocks_read;
+    sum.blocks_written += j.io.blocks_written;
+    for (usize d = 0; d < j.io.disk_reads.size(); ++d) {
+      sum.disk_reads[d] += j.io.disk_reads[d];
+      sum.disk_writes[d] += j.io.disk_writes[d];
+    }
+  }
+  EXPECT_EQ(sum.read_ops, st.io.read_ops);
+  EXPECT_EQ(sum.write_ops, st.io.write_ops);
+  EXPECT_EQ(sum.blocks_read, st.io.blocks_read);
+  EXPECT_EQ(sum.blocks_written, st.io.blocks_written);
+  ASSERT_EQ(st.io.disk_reads.size(), kDisks);
+  for (usize d = 0; d < kDisks; ++d) {
+    EXPECT_EQ(sum.disk_reads[d], st.io.disk_reads[d]) << "disk " << d;
+    EXPECT_EQ(sum.disk_writes[d], st.io.disk_writes[d]) << "disk " << d;
+  }
+}
+
+TEST(SortService, DeadlineMissIsRecorded)
+{
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  SortService svc(make_backend(200), cfg);
+  Rng rng(9);
+  SortJobSpec tight = spec_of("tight");
+  tight.deadline_s = 1e-9;  // unmeetable
+  const JobId id =
+      svc.submit<u64>(tight, make_keys(4 * kMem, Dist::kPermutation, rng));
+  const JobInfo info = svc.wait(id);
+  EXPECT_EQ(info.state, JobState::kDone);
+  EXPECT_TRUE(info.deadline_missed);
+  EXPECT_EQ(svc.stats().deadline_missed, 1u);
+}
+
+}  // namespace
+}  // namespace pdm
