@@ -1,0 +1,130 @@
+// Cluster serving demo: a pdm::Cluster of SortService shards behind a
+// routing policy, fed a multi-tenant workload. Prints each shard's view
+// of the traffic, the routing quality (placement counts, spills,
+// imbalance), and the cluster totals with the exact-sum I/O invariant.
+//
+//   ./example_cluster_serve                         # 4 shards, least_loaded
+//   ./example_cluster_serve --shards=2 --policy=locality_hash
+//   ./example_cluster_serve --tenants=12 --jobs=64 --seek_us=400
+#include <atomic>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "pdm/backend_factory.h"
+#include "util/cli.h"
+#include "util/generators.h"
+#include "util/table.h"
+
+using namespace pdm;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const usize shards = static_cast<usize>(cli.get_u64("shards", 4));
+  const u64 mem = cli.get_u64("mem", 16384);
+  const u64 num_jobs = cli.get_u64("jobs", 32);
+  const u64 tenants = cli.get_u64("tenants", 6);
+  const u32 disks_total = static_cast<u32>(cli.get_u64("disks", 8));
+  const usize workers_total = static_cast<usize>(cli.get_u64("workers", 4));
+  const RoutePolicy policy =
+      route_policy_from_name(cli.get("policy", "least_loaded"));
+
+  const u64 rpb = isqrt(mem);
+  PDM_CHECK(rpb * rpb == mem, "--mem must be a perfect square");
+  PDM_CHECK(disks_total % shards == 0 && workers_total % shards == 0,
+            "--shards must divide --disks and --workers");
+
+  StreamModel stream;
+  stream.seq_us = cli.get_u64("seq_us", 10);
+  stream.seek_us = cli.get_u64("seek_us", 200);
+
+  ClusterConfig cfg;
+  cfg.shards = shards;
+  cfg.policy = policy;
+  cfg.shard.workers = workers_total / shards;
+  cfg.shard.io_depth_total = 8 / std::min<usize>(shards, 8);
+  cfg.shard.total_memory_bytes =
+      (static_cast<usize>(cli.get_u64("cluster_mb", 256)) << 20) / shards;
+  cfg.shard.retain_terminal_max = 1024;  // long-lived serving: bound records
+  Cluster cluster(
+      memory_backend_factory(disks_total / static_cast<u32>(shards),
+                             static_cast<usize>(rpb) * sizeof(u64), 0,
+                             stream),
+      cfg);
+
+  std::cout << "Cluster: " << shards << " shards ("
+            << route_policy_name(policy) << ") x " << cfg.shard.workers
+            << " workers, D = " << disks_total / shards
+            << " per shard, budget = "
+            << (cfg.shard.total_memory_bytes >> 20) << " MiB per shard; "
+            << num_jobs << " jobs from " << tenants << " tenants\n\n";
+
+  Rng rng(cli.get_u64("seed", 1));
+  std::atomic<u64> verified{0};
+  std::vector<JobId> ids;
+  for (u64 j = 0; j < num_jobs; ++j) {
+    SortJobSpec spec;
+    spec.name = "job" + std::to_string(j);
+    spec.mem_records = mem;
+    spec.locality_key = "tenant-" + std::to_string(j % tenants);
+    spec.priority = static_cast<int>(j % 3);
+    const u64 n = (j % 3 + 1) * (mem / 4);
+    ids.push_back(cluster.submit<u64>(
+        spec, make_keys(static_cast<usize>(n), Dist::kZipf, rng),
+        std::less<u64>{}, [&verified](const SortResult<u64>& res) {
+          auto v = res.output.read_all();
+          for (usize i = 1; i < v.size(); ++i) {
+            PDM_CHECK(!(v[i] < v[i - 1]), "cluster output not sorted");
+          }
+          ++verified;
+        }));
+  }
+  cluster.drain();
+
+  const ClusterStats st = cluster.stats();
+  Table t({"shard", "jobs", "done", "failed", "jobs_per_sec", "queue_p99_ms",
+           "io_blocks", "peak_mem"});
+  for (usize s = 0; s < st.per_shard.size(); ++s) {
+    const ServiceStats& ss = st.per_shard[s];
+    t.row()
+        .cell(u64{s})
+        .cell(st.jobs_per_shard[s])
+        .cell(ss.completed)
+        .cell(ss.failed)
+        .cell(ss.jobs_per_sec, 1)
+        .cell(ss.queue_p99_s * 1e3, 1)
+        .cell(ss.io.total_blocks())
+        .cell(fmt_count(ss.peak_memory_bytes) + "B");
+  }
+  t.print(std::cout);
+
+  // The invariant the stats are built on: shard totals sum exactly to the
+  // cluster totals.
+  u64 shard_blocks = 0;
+  for (const ServiceStats& ss : st.per_shard) {
+    shard_blocks += ss.io.total_blocks();
+  }
+  std::cout << "cluster: " << st.completed << " done, " << st.failed
+            << " failed, " << st.rejected << " rejected (" << st.spilled
+            << " spilled, " << st.rejected_cluster_wide
+            << " cluster-wide); " << verified.load() << " verified\n"
+            << "throughput: " << fmt_double(st.jobs_per_sec, 1)
+            << " jobs/s; imbalance: jobs "
+            << fmt_double(st.job_imbalance, 2) << "x, io "
+            << fmt_double(st.io_imbalance, 2) << "x (1.0 = even)\n"
+            << "I/O: " << st.io.total_ops() << " parallel ops, "
+            << st.io.total_blocks() << " blocks (shard sum " << shard_blocks
+            << ": " << (shard_blocks == st.io.total_blocks() ? "exact" : "MISMATCH")
+            << ")\n";
+  if (st.failed != 0 || st.rejected != 0 ||
+      verified.load() != st.completed ||
+      shard_blocks != st.io.total_blocks()) {
+    std::cerr << "FAIL: failed=" << st.failed << " rejected=" << st.rejected
+              << " verified=" << verified.load() << "/" << st.completed
+              << "\n";
+    return 1;
+  }
+  return 0;
+}

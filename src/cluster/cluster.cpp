@@ -1,0 +1,165 @@
+#include "cluster/cluster.h"
+
+namespace pdm {
+
+Cluster::Cluster(BackendFactory make_backend, ClusterConfig cfg)
+    : router_(cfg.shards, cfg.policy, cfg.router_seed),
+      jobs_per_shard_(cfg.shards, 0) {
+  PDM_CHECK(cfg.shards > 0, "Cluster needs at least one shard");
+  PDM_CHECK(make_backend != nullptr, "Cluster needs a backend factory");
+  PDM_CHECK(cfg.shard_configs.empty() || cfg.shard_configs.size() == cfg.shards,
+            "shard_configs must be empty or have one entry per shard");
+  shards_.reserve(cfg.shards);
+  for (usize i = 0; i < cfg.shards; ++i) {
+    ServiceConfig sc =
+        cfg.shard_configs.empty() ? cfg.shard : cfg.shard_configs[i];
+    sc.shard_id = static_cast<u32>(i);
+    auto backend = make_backend(static_cast<u32>(i));
+    PDM_CHECK(backend != nullptr, "backend factory returned null");
+    shards_.push_back(
+        std::make_unique<SortService>(std::move(backend), sc));
+  }
+}
+
+std::vector<ShardLoad> Cluster::shard_loads() const {
+  std::vector<ShardLoad> loads;
+  loads.reserve(shards_.size());
+  for (const auto& s : shards_) loads.push_back(s->load());
+  return loads;
+}
+
+u32 Cluster::place_locked(const SortJobSpec& spec, usize record_bytes,
+                          std::span<const ShardLoad> loads) {
+  const u32 preferred = router_.place(spec, loads);
+  auto fits = [&](u32 i) {
+    return shards_[i]->admission_carve(spec, record_bytes) <=
+           shards_[i]->budget().limit();
+  };
+  if (fits(preferred)) return preferred;
+  // Overflow spill: the preferred shard would reject this job outright
+  // (its carve exceeds the whole shard budget). Retry on the least-loaded
+  // shard that can admit it before letting the rejection stand.
+  const u32 alt = router_.least_loaded_where(loads, preferred, fits);
+  if (alt < shards_.size()) {
+    ++spilled_;
+    return alt;
+  }
+  // No shard fits: submit to the preferred shard anyway so the tenant
+  // gets a job record with the rejection reason.
+  ++rejected_cluster_wide_;
+  return preferred;
+}
+
+Cluster::Placement Cluster::placement_of(JobId id) const {
+  std::lock_guard g(mu_);
+  auto it = jobs_.find(id);
+  PDM_CHECK(it != jobs_.end(), "cluster: unknown job id");
+  return it->second;
+}
+
+JobInfo Cluster::wait(JobId id) {
+  const Placement p = placement_of(id);
+  JobInfo info = shards_[p.shard]->wait(p.local);
+  info.id = id;
+  return info;
+}
+
+JobInfo Cluster::info(JobId id) const {
+  const Placement p = placement_of(id);
+  JobInfo info = shards_[p.shard]->info(p.local);
+  info.id = id;
+  return info;
+}
+
+bool Cluster::cancel(JobId id) {
+  std::unique_lock lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  const Placement p = it->second;
+  lock.unlock();
+  return shards_[p.shard]->cancel(p.local);
+}
+
+bool Cluster::forget(JobId id) {
+  std::unique_lock lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  const Placement p = it->second;
+  lock.unlock();
+  // The shard refuses while the job is queued/running; a record the
+  // shard's retention policy already dropped counts as forgotten.
+  if (!shards_[p.shard]->forget(p.local) &&
+      shards_[p.shard]->known(p.local)) {
+    return false;
+  }
+  lock.lock();
+  jobs_.erase(id);
+  return true;
+}
+
+void Cluster::maybe_prune_locked() {
+  if (++submits_since_prune_ < kPruneInterval) return;
+  submits_since_prune_ = 0;
+  // Amortized O(1) per submit: without this, shard-side retention would
+  // leave the cluster's id map growing one dead mapping per evicted job.
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (!shards_[it->second.shard]->known(it->second.local)) {
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Cluster::drain() {
+  for (auto& s : shards_) s->drain();
+}
+
+u32 Cluster::shard_of(JobId id) const { return placement_of(id).shard; }
+
+ClusterStats Cluster::stats() const {
+  ClusterStats c;
+  c.shards = shards_.size();
+  c.per_shard.reserve(shards_.size());
+  for (const auto& s : shards_) c.per_shard.push_back(s->stats());
+  // Shard snapshots are taken before the cluster lock (each stats() takes
+  // its shard's mutex); the cluster-side counters come after.
+  {
+    std::lock_guard g(mu_);
+    c.jobs_per_shard = jobs_per_shard_;
+    c.spilled = spilled_;
+    c.rejected_cluster_wide = rejected_cluster_wide_;
+  }
+  c.io.reset(0);
+  double max_window = 0;
+  for (const ServiceStats& s : c.per_shard) {
+    c.submitted += s.submitted;
+    c.completed += s.completed;
+    c.failed += s.failed;
+    c.cancelled += s.cancelled;
+    c.rejected += s.rejected;
+    c.deadline_missed += s.deadline_missed;
+    c.retained += s.retained;
+    c.batches_run += s.batches_run;
+    c.peak_memory_bytes += s.peak_memory_bytes;
+    max_window = std::max(max_window, s.busy_window_s);
+    c.io.read_ops += s.io.read_ops;
+    c.io.write_ops += s.io.write_ops;
+    c.io.blocks_read += s.io.blocks_read;
+    c.io.blocks_written += s.io.blocks_written;
+    c.io.sim_time_s += s.io.sim_time_s;
+    c.io.disk_reads.insert(c.io.disk_reads.end(), s.io.disk_reads.begin(),
+                           s.io.disk_reads.end());
+    c.io.disk_writes.insert(c.io.disk_writes.end(), s.io.disk_writes.begin(),
+                            s.io.disk_writes.end());
+    c.blocks_per_shard.push_back(s.io.total_blocks());
+  }
+  if (c.completed > 0 && max_window > 0) {
+    c.jobs_per_sec = static_cast<double>(c.completed) / max_window;
+  }
+  c.job_imbalance = imbalance_ratio(c.jobs_per_shard);
+  c.io_imbalance = imbalance_ratio(c.blocks_per_shard);
+  return c;
+}
+
+}  // namespace pdm

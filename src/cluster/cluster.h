@@ -1,0 +1,148 @@
+// pdm::Cluster — sharded multi-context serving.
+//
+// One SortService is one machine's worth of shared resources: one disk
+// array, one memory budget, one worker pool. A Cluster owns N such shards
+// — each with its own DiskBackend (stamped out by a BackendFactory), its
+// own DiskAllocator, MemoryBudget and workers — behind a ShardRouter that
+// places incoming jobs by policy (round-robin / power-of-two-choices
+// least-loaded / locality hash). Shards share nothing, so jobs on
+// different shards never contend for disks, allocator cursors, budget or
+// the service mutex; routing multiplies jobs/sec while every job's pass
+// count stays exactly its single-shard value (the paper's bounds are
+// per-array properties — see bench_e16_cluster_routing).
+//
+// Overflow spill: a job whose memory carve can never fit its preferred
+// shard's budget is retried on the least-loaded shard where it does fit
+// before being rejected cluster-wide, so heterogeneous shards (one big-
+// memory shard among small ones) serve oversized tenants without pinning
+// every job to the big shard.
+//
+// Job ids are cluster-global; wait/info/cancel/forget proxy to the owning
+// shard. ClusterStats rolls the per-shard ServiceStats up into cluster
+// totals with the same exact-sum I/O invariant the service established,
+// plus per-shard imbalance figures the benches gate on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/cluster_stats.h"
+#include "cluster/shard_router.h"
+#include "pdm/backend_factory.h"
+#include "service/sort_service.h"
+
+namespace pdm {
+
+struct ClusterConfig {
+  usize shards = 2;
+
+  /// Template for every shard. workers / total_memory_bytes /
+  /// io_depth_total are PER SHARD: a cluster on the same aggregate
+  /// hardware as one big service divides them by the shard count.
+  /// (ServiceConfig::shard_id is overwritten with the shard index.)
+  ServiceConfig shard;
+
+  /// Optional per-shard overrides (size must equal `shards` when
+  /// non-empty): heterogeneous clusters, e.g. one big-memory shard.
+  std::vector<ServiceConfig> shard_configs;
+
+  RoutePolicy policy = RoutePolicy::kLeastLoaded;
+  u64 router_seed = 1;
+};
+
+class Cluster {
+ public:
+  /// Calls `make_backend(shard)` once per shard; shards start their
+  /// workers immediately.
+  Cluster(BackendFactory make_backend, ClusterConfig cfg);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Routes and submits a sort job (same contract as SortService::submit,
+  /// plus placement). Returns a cluster-global job id immediately. Only
+  /// placement and id registration serialize on the cluster mutex; the
+  /// shard submit itself (staging the closure, admission checks) runs
+  /// outside it, so submitters scale with the shards.
+  template <Record R, class Cmp = std::less<R>>
+  JobId submit(SortJobSpec spec, std::vector<R> data, Cmp cmp = {},
+               std::function<void(const SortResult<R>&)> on_complete = {}) {
+    // Load snapshots are taken outside the router lock (each one briefly
+    // takes its shard's mutex).
+    std::vector<ShardLoad> loads = shard_loads();
+    u32 shard = 0;
+    {
+      std::lock_guard g(mu_);
+      shard = place_locked(spec, sizeof(R), loads);
+    }
+    const JobId local = shards_[shard]->submit<R>(
+        std::move(spec), std::move(data), cmp, std::move(on_complete));
+    std::lock_guard g(mu_);
+    const JobId id = next_id_++;
+    jobs_.emplace(id, Placement{shard, local});
+    ++jobs_per_shard_[shard];
+    maybe_prune_locked();
+    return id;
+  }
+
+  /// Blocks until the job is terminal; returns its record (JobInfo::id is
+  /// the cluster id, JobInfo::shard the serving shard). Like the service,
+  /// throws for ids whose record the shard's retention policy already
+  /// dropped — size the shards' retention to cover the waiting window.
+  JobInfo wait(JobId id);
+
+  /// Snapshot of one job (throws on unknown or retention-evicted id).
+  JobInfo info(JobId id) const;
+
+  /// Cancels on the owning shard (same semantics as SortService::cancel).
+  bool cancel(JobId id);
+
+  /// Drops a terminal job's record on its shard and the cluster mapping.
+  /// Also returns true (and drops the mapping) when the shard's retention
+  /// policy already evicted the record; false only while the job is still
+  /// queued or running.
+  bool forget(JobId id);
+
+  /// Blocks until every shard is idle.
+  void drain();
+
+  ClusterStats stats() const;
+
+  usize num_shards() const noexcept { return shards_.size(); }
+  SortService& shard(usize i) { return *shards_.at(i); }
+  const ShardRouter& router() const noexcept { return router_; }
+
+  /// The shard a submitted job was placed on (throws on unknown id).
+  u32 shard_of(JobId id) const;
+
+ private:
+  struct Placement {
+    u32 shard = 0;
+    JobId local = 0;
+  };
+
+  std::vector<ShardLoad> shard_loads() const;
+  u32 place_locked(const SortJobSpec& spec, usize record_bytes,
+                   std::span<const ShardLoad> loads);
+  Placement placement_of(JobId id) const;
+  /// Every kPruneInterval submissions, drops mappings whose shard record
+  /// is gone (forgotten or retention-evicted) so a long-lived cluster's
+  /// id map stays bounded alongside the shards' own retention.
+  void maybe_prune_locked();
+
+  std::vector<std::unique_ptr<SortService>> shards_;
+
+  mutable std::mutex mu_;
+  ShardRouter router_;
+  std::map<JobId, Placement> jobs_;
+  JobId next_id_ = 1;
+  std::vector<u64> jobs_per_shard_;
+  u64 spilled_ = 0;
+  u64 rejected_cluster_wide_ = 0;
+  u64 submits_since_prune_ = 0;
+  static constexpr u64 kPruneInterval = 1024;
+};
+
+}  // namespace pdm

@@ -1,0 +1,77 @@
+// Cluster-wide serving metrics: per-shard ServiceStats rolled up into
+// cluster totals, plus the routing-quality figures (placement counts,
+// spills, imbalance) that the cluster benches gate on.
+//
+// The exact-sum invariant composes across the layers: within a shard,
+// per-job IoStats deltas sum exactly to that shard's SharedIoTotals
+// (PR 2's invariant); here, the per-shard totals sum exactly to
+// ClusterStats::io — nothing double-counted, nothing lost, at either
+// level. tests/cluster_test.cpp asserts both under a concurrent stress.
+#pragma once
+
+#include <vector>
+
+#include "service/service_stats.h"
+
+namespace pdm {
+
+struct ClusterStats {
+  usize shards = 0;
+
+  /// Sums of the per-shard lifetime counters.
+  u64 submitted = 0;
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 cancelled = 0;
+  u64 rejected = 0;
+  u64 deadline_missed = 0;
+  u64 retained = 0;
+  u64 batches_run = 0;
+
+  /// Routing outcomes (counted by the cluster, not the shards): jobs
+  /// placed off their preferred shard because its budget could never
+  /// admit them, and jobs no shard could admit (a subset of `rejected`).
+  u64 spilled = 0;
+  u64 rejected_cluster_wide = 0;
+
+  /// Exact sum of the per-shard SharedIoTotals snapshots.
+  IoStats io;
+
+  /// Sum of per-shard peak reservations (shards peak independently).
+  usize peak_memory_bytes = 0;
+
+  /// Completed jobs over the widest per-shard busy window: a cluster-level
+  /// throughput figure (shards run concurrently, so the max window is the
+  /// cluster's busy time up to skew in shard start times).
+  double jobs_per_sec = 0;
+
+  /// Jobs routed to each shard, and the resulting imbalance ratios
+  /// (max/mean; 1.0 = perfectly even, higher = hotter hot shard). I/O
+  /// imbalance weighs by blocks moved, so a shard stuck with all the big
+  /// jobs shows up even when job counts look even.
+  std::vector<u64> jobs_per_shard;
+  double job_imbalance = 0;
+  std::vector<u64> blocks_per_shard;
+  double io_imbalance = 0;
+
+  /// Full per-shard snapshots, indexed by shard.
+  std::vector<ServiceStats> per_shard;
+};
+
+/// max/mean of a non-negative sample; 0 when the sample is empty or all
+/// zero (no traffic = no imbalance to speak of).
+inline double imbalance_ratio(const std::vector<u64>& xs) {
+  if (xs.empty()) return 0;
+  u64 max = 0;
+  u64 sum = 0;
+  for (u64 x : xs) {
+    max = std::max(max, x);
+    sum += x;
+  }
+  if (sum == 0) return 0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(xs.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace pdm

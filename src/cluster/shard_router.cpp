@@ -1,0 +1,53 @@
+#include "cluster/shard_router.h"
+
+namespace pdm {
+
+RoutePolicy route_policy_from_name(const std::string& name) {
+  if (name == "round_robin") return RoutePolicy::kRoundRobin;
+  if (name == "least_loaded") return RoutePolicy::kLeastLoaded;
+  if (name == "locality_hash") return RoutePolicy::kLocalityHash;
+  fail("unknown routing policy: " + name +
+       " (want round_robin | least_loaded | locality_hash)");
+}
+
+u64 locality_hash(const std::string& key) {
+  u64 h = 14695981039346656037ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+ShardRouter::ShardRouter(usize shards, RoutePolicy policy, u64 seed)
+    : shards_(shards), policy_(policy), rng_(seed) {
+  PDM_CHECK(shards > 0, "router needs at least one shard");
+}
+
+u32 ShardRouter::round_robin() {
+  return static_cast<u32>(rr_++ % shards_);
+}
+
+u32 ShardRouter::place(const SortJobSpec& spec,
+                       std::span<const ShardLoad> loads) {
+  PDM_CHECK(loads.size() == shards_,
+            "router: loads snapshot does not match the shard count");
+  if (shards_ == 1) return 0;
+  switch (policy_) {
+    case RoutePolicy::kRoundRobin:
+      return round_robin();
+    case RoutePolicy::kLeastLoaded: {
+      // Power of two choices; distinct samples, ties to the first.
+      const u32 a = static_cast<u32>(rng_.below(shards_));
+      u32 b = static_cast<u32>(rng_.below(shards_ - 1));
+      if (b >= a) ++b;
+      return loads[b].score() < loads[a].score() ? b : a;
+    }
+    case RoutePolicy::kLocalityHash:
+      if (spec.locality_key.empty()) return round_robin();
+      return static_cast<u32>(locality_hash(spec.locality_key) % shards_);
+  }
+  return 0;
+}
+
+}  // namespace pdm

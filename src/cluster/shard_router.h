@@ -1,0 +1,93 @@
+// ShardRouter: decides which SortService shard serves a job.
+//
+// Placement is the whole game once I/O bandwidth is the bottleneck
+// (Rahn/Sanders/Singler, "Scalable Distributed-Memory External Sorting"):
+// throughput tracks how evenly work spreads over independent disk groups,
+// while per-job pass counts stay the paper-optimal ones no matter where a
+// job lands. Three policies cover the classic tradeoffs:
+//
+//  - kRoundRobin: perfectly even job counts, blind to job size and to
+//    shard state. The baseline the benches compare against.
+//  - kLeastLoaded: power-of-two-choices — sample two random shards, take
+//    the one with the lower ShardLoad::score() (queue depth + reserved-
+//    memory fraction). Near-optimal balance at O(1) cost, and sampling
+//    avoids the stampede of every router chasing one idle shard.
+//  - kLocalityHash: stable placement by SortJobSpec::locality_key, so a
+//    returning tenant lands where its plan-cache entries and (for file
+//    backends) page-cache pages are still warm. Jobs without a key fall
+//    back to round-robin.
+//
+// The router is a pure placement function over a loads snapshot plus a
+// little mixing state (round-robin cursor, RNG); it is NOT thread-safe —
+// the owning Cluster serializes placement under its own mutex.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "service/service_stats.h"
+#include "service/sort_job.h"
+#include "util/rng.h"
+
+namespace pdm {
+
+enum class RoutePolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kLocalityHash,
+};
+
+inline const char* route_policy_name(RoutePolicy p) {
+  switch (p) {
+    case RoutePolicy::kRoundRobin: return "round_robin";
+    case RoutePolicy::kLeastLoaded: return "least_loaded";
+    case RoutePolicy::kLocalityHash: return "locality_hash";
+  }
+  return "?";
+}
+
+/// Parses a policy name as printed by route_policy_name (CLI flags);
+/// throws pdm::Error on anything else.
+RoutePolicy route_policy_from_name(const std::string& name);
+
+/// FNV-1a of the locality key; exposed so tests can pick keys that land
+/// on specific shards.
+u64 locality_hash(const std::string& key);
+
+class ShardRouter {
+ public:
+  ShardRouter(usize shards, RoutePolicy policy, u64 seed = 1);
+
+  RoutePolicy policy() const noexcept { return policy_; }
+
+  /// Preferred shard for `spec` given the current loads (loads.size() must
+  /// equal the shard count).
+  u32 place(const SortJobSpec& spec, std::span<const ShardLoad> loads);
+
+  /// Lowest-score shard for which `admissible(shard)` holds, excluding
+  /// `exclude` (pass >= shard count to exclude nothing). Returns the shard
+  /// count when no shard qualifies. This is the overflow-spill scan: a
+  /// full scan, not a sample — spills are rare and worth the extra looks.
+  template <class Pred>
+  u32 least_loaded_where(std::span<const ShardLoad> loads, u32 exclude,
+                         Pred admissible) const {
+    u32 best = static_cast<u32>(loads.size());
+    for (u32 i = 0; i < loads.size(); ++i) {
+      if (i == exclude || !admissible(i)) continue;
+      if (best == loads.size() || loads[i].score() < loads[best].score()) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+ private:
+  u32 round_robin();
+
+  usize shards_;
+  RoutePolicy policy_;
+  u64 rr_ = 0;
+  Rng rng_;
+};
+
+}  // namespace pdm

@@ -210,6 +210,7 @@ DistributeOutcome<R> distribute_pass(
   };
 
   auto flush_phase = [&](std::span<const R> recs) {
+    ctx.check_cancelled();
     // Group in memory.
     std::fill(counts.begin(), counts.end(), u64{0});
     for (const auto& r : recs) ++counts[digit_fn(r)];

@@ -1,0 +1,29 @@
+#include "pdm/backend_factory.h"
+
+#include <cstdio>
+
+#include "pdm/file_backend.h"
+
+namespace pdm {
+
+BackendFactory memory_backend_factory(u32 disks_per_shard, usize block_bytes,
+                                      u64 latency_us, StreamModel stream) {
+  return [=](u32 /*shard*/) -> std::shared_ptr<DiskBackend> {
+    auto b = std::make_shared<MemoryDiskBackend>(disks_per_shard, block_bytes);
+    b->set_simulated_latency_us(latency_us);
+    if (stream.enabled()) b->set_stream_model(stream);
+    return b;
+  };
+}
+
+BackendFactory file_backend_factory(u32 disks_per_shard, usize block_bytes,
+                                    std::string base_dir, bool keep_files) {
+  return [=](u32 shard) -> std::shared_ptr<DiskBackend> {
+    char sub[16];
+    std::snprintf(sub, sizeof sub, "/shard%03u", shard);
+    return std::make_shared<FileDiskBackend>(disks_per_shard, block_bytes,
+                                             base_dir + sub, keep_files);
+  };
+}
+
+}  // namespace pdm

@@ -1,0 +1,37 @@
+// Backend factories: how a cluster stamps out one disk array per shard.
+//
+// A pdm::Cluster owns N independent SortService shards, each over its own
+// DiskBackend; the factory is called once per shard with the shard index
+// so file-backed shards get distinct directories and memory-backed shards
+// share one latency/stream model. Factories are plain std::functions, so
+// benches and tests can also hand the cluster arbitrary custom backends.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "pdm/disk_backend.h"
+#include "pdm/memory_backend.h"
+
+namespace pdm {
+
+/// Called once per shard at cluster construction; must return a fresh
+/// backend (shards never share disks — independent arrays are the whole
+/// point of sharding).
+using BackendFactory = std::function<std::shared_ptr<DiskBackend>(u32 shard)>;
+
+/// Per-shard MemoryDiskBackend arrays with an optional flat per-op latency
+/// and an optional locality-aware stream model (see StreamModel).
+BackendFactory memory_backend_factory(u32 disks_per_shard, usize block_bytes,
+                                      u64 latency_us = 0,
+                                      StreamModel stream = {});
+
+/// Per-shard FileDiskBackend arrays under `base_dir`/shard000, 001, ...
+/// The directories are created on demand and removed with the backends
+/// unless keep_files is true.
+BackendFactory file_backend_factory(u32 disks_per_shard, usize block_bytes,
+                                    std::string base_dir,
+                                    bool keep_files = false);
+
+}  // namespace pdm

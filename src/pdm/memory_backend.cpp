@@ -1,6 +1,6 @@
 #include "pdm/memory_backend.h"
 
-#include <chrono>
+#include <algorithm>
 #include <cstring>
 #include <thread>
 
@@ -9,8 +9,10 @@ namespace pdm {
 MemoryDiskBackend::MemoryDiskBackend(u32 num_disks, usize block_bytes)
     : num_disks_(num_disks),
       block_bytes_(block_bytes),
+      epoch_(std::chrono::steady_clock::now()),
       disk_mu_(std::make_unique<std::mutex[]>(num_disks)),
-      disks_(num_disks) {
+      disks_(num_disks),
+      sims_(num_disks) {
   PDM_CHECK(num_disks > 0, "need at least one disk");
   PDM_CHECK(block_bytes > 0, "block_bytes must be positive");
 }
@@ -21,8 +23,58 @@ void MemoryDiskBackend::simulate_latency() const {
   }
 }
 
+i64 MemoryDiskBackend::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+i64 MemoryDiskBackend::charge_stream_locked(u32 d, u64 index) {
+  DiskSim& sim = sims_[d];
+  auto& lru = sim.lru;
+  bool hit = false;
+  for (usize i = 0; i < lru.size(); ++i) {
+    const u64 head = lru[i];
+    const u64 dist = head > index ? head - index : index - head;
+    if (dist <= stream_.window_blocks) {
+      // Same stream: advance its head and move it to the front.
+      lru.erase(lru.begin() + static_cast<std::ptrdiff_t>(i));
+      hit = true;
+      break;
+    }
+  }
+  if (!hit && lru.size() >= stream_.streams) lru.pop_back();
+  lru.insert(lru.begin(), index);
+  if (hit) {
+    ++sim.hits;
+  } else {
+    ++sim.misses;
+  }
+  const i64 dur = static_cast<i64>(hit ? stream_.seq_us : stream_.seek_us);
+  sim.busy_until_us = std::max(sim.busy_until_us, now_us()) + dur;
+  return sim.busy_until_us;
+}
+
+void MemoryDiskBackend::wait_until_us(i64 target) const {
+  // OS sleep granularity (~50us timer slack) would swamp block-scale
+  // service times: sleep for the bulk of long waits, spin out the tail so
+  // the occupancy clocks stay faithful.
+  for (;;) {
+    const i64 now = now_us();
+    if (now >= target) return;
+    if (target - now > 200) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(target - now - 100));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
 void MemoryDiskBackend::read_batch(std::span<const ReadReq> reqs) {
-  simulate_latency();
+  const bool occupancy = stream_.enabled();
+  if (!occupancy) simulate_latency();
+  i64 wait_until = 0;
   for (const auto& r : reqs) {
     PDM_CHECK(r.where.disk < num_disks_, "read: disk out of range");
     std::lock_guard g(disk_mu_[r.where.disk]);
@@ -33,11 +85,18 @@ void MemoryDiskBackend::read_batch(std::span<const ReadReq> reqs) {
                   std::to_string(r.where.disk) + ", block " +
                   std::to_string(r.where.index) + ")");
     std::memcpy(r.dst, d.data() + off, block_bytes_);
+    if (occupancy) {
+      wait_until = std::max(
+          wait_until, charge_stream_locked(r.where.disk, r.where.index));
+    }
   }
+  if (occupancy) wait_until_us(wait_until);
 }
 
 void MemoryDiskBackend::write_batch(std::span<const WriteReq> reqs) {
-  simulate_latency();
+  const bool occupancy = stream_.enabled();
+  if (!occupancy) simulate_latency();
+  i64 wait_until = 0;
   for (const auto& w : reqs) {
     PDM_CHECK(w.where.disk < num_disks_, "write: disk out of range");
     std::lock_guard g(disk_mu_[w.where.disk]);
@@ -45,7 +104,12 @@ void MemoryDiskBackend::write_batch(std::span<const WriteReq> reqs) {
     const usize off = static_cast<usize>(w.where.index) * block_bytes_;
     if (off + block_bytes_ > d.size()) d.resize(off + block_bytes_);
     std::memcpy(d.data() + off, w.src, block_bytes_);
+    if (occupancy) {
+      wait_until = std::max(
+          wait_until, charge_stream_locked(w.where.disk, w.where.index));
+    }
   }
+  if (occupancy) wait_until_us(wait_until);
 }
 
 u64 MemoryDiskBackend::disk_blocks(u32 disk) const {
@@ -59,6 +123,24 @@ usize MemoryDiskBackend::resident_bytes() const {
   for (u32 d = 0; d < num_disks_; ++d) {
     std::lock_guard g(disk_mu_[d]);
     total += disks_[d].size();
+  }
+  return total;
+}
+
+u64 MemoryDiskBackend::stream_hits() const {
+  u64 total = 0;
+  for (u32 d = 0; d < num_disks_; ++d) {
+    std::lock_guard g(disk_mu_[d]);
+    total += sims_[d].hits;
+  }
+  return total;
+}
+
+u64 MemoryDiskBackend::stream_misses() const {
+  u64 total = 0;
+  for (u32 d = 0; d < num_disks_; ++d) {
+    std::lock_guard g(disk_mu_[d]);
+    total += sims_[d].misses;
   }
   return total;
 }

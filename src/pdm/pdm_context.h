@@ -15,6 +15,7 @@
 //    charge into a service-wide aggregate.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -85,6 +86,29 @@ class PdmContext {
   /// The shared write-behind ring (for drain/flush control).
   WriteBehindRing& write_behind() noexcept { return write_behind_; }
 
+  /// Cooperative cancellation: an external owner (the sort service) may
+  /// point the context at a flag it sets from another thread; sorters poll
+  /// it at run-formation / merge / distribution batch boundaries via
+  /// check_cancelled(). Null (the default) disables the checks. The flag
+  /// must outlive the context or be reset to null first.
+  void set_cancel_flag(const std::atomic<bool>* flag) noexcept {
+    cancel_ = flag;
+  }
+
+  bool cancel_requested() const noexcept {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
+  /// Throws pdm::Cancelled if the cancellation flag is set. Safe at any
+  /// batch boundary: the pass loops are exception-safe there (the same
+  /// unwind path an I/O error takes), so a cancelled sort releases its
+  /// buffers and drains its pipeline on the way out.
+  void check_cancelled() const {
+    if (cancel_requested()) {
+      throw Cancelled("sort cancelled at a batch boundary");
+    }
+  }
+
   /// Records-per-block for a given record type.
   template <class R>
   usize rpb() const {
@@ -102,6 +126,7 @@ class PdmContext {
   std::unique_ptr<DiskAllocator> own_alloc_;  // null for job contexts
   DiskAllocator* alloc_;
   Rng rng_;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 /// Convenience factories.

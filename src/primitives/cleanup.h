@@ -69,6 +69,7 @@ CleanupOutcome streamed_cleanup(PdmContext& ctx, ChunkSource<R>& source,
   bool have_last = false;
 
   while (!source.exhausted()) {
+    ctx.check_cancelled();
     const usize got = source.next_chunk(window.data() + held, chunk);
     if (got == 0 && source.exhausted()) break;
     const usize total = held + got;

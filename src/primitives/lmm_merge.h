@@ -118,6 +118,7 @@ CleanupOutcome lmm_merge_from_parts(PdmContext& ctx,
     // spread i + j uniformly.
     const usize stride = ceil_div(m, groups_per_load);
     for (usize r = 0; r < stride; ++r) {
+      ctx.check_cancelled();
       std::vector<usize> batch;
       for (usize j = r; j < m; j += stride) batch.push_back(j);
       if (batch.empty()) continue;

@@ -176,6 +176,7 @@ void multiway_merge_pass(PdmContext& ctx,
     const usize r = tree.min_source();
     emit[emitted++] = tree.min_value();
     if (emitted == emit.size()) {
+      ctx.check_cancelled();
       sink.push(std::span<const R>(emit.data(), emitted));
       emitted = 0;
     }

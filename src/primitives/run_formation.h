@@ -96,6 +96,7 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
   usize cur = 0;
   if (async) issue(0, 0);
   for (u64 i = 0; i < num_runs; ++i) {
+    ctx.check_cancelled();
     const u64 rec0 = opt.first_record + i * run_len;
     const u64 nrec = std::min<u64>(run_len, opt.first_record + n - rec0);
     R* buf;

@@ -1,5 +1,7 @@
-// Aggregated serving metrics: per-job records plus the queue-latency and
-// throughput figures a capacity planner actually reads.
+// Aggregated serving metrics: the queue-latency and throughput figures a
+// capacity planner actually reads, maintained incrementally at job
+// terminal transitions (stats() is O(1) in the number of retained jobs;
+// per-job snapshots are a separate jobs() call).
 #pragma once
 
 #include <algorithm>
@@ -11,6 +13,10 @@
 namespace pdm {
 
 struct ServiceStats {
+  u32 shard_id = 0;
+
+  /// Lifetime counters: these survive forget() and retention eviction
+  /// (they are bumped once when a job reaches its terminal state).
   u64 submitted = 0;
   u64 completed = 0;
   u64 failed = 0;
@@ -19,10 +25,16 @@ struct ServiceStats {
   u64 deadline_missed = 0;
   u64 batches_run = 0;  // worker tasks, counting a coalesced batch once
 
+  /// Terminal job records currently held (inspectable via jobs()/info());
+  /// evicted counts records dropped by the retention policy (not by an
+  /// explicit forget()).
+  u64 retained = 0;
+  u64 evicted = 0;
+
   u64 plan_cache_hits = 0;
   u64 plan_cache_misses = 0;
 
-  double queue_p50_s = 0;  // over jobs that reached a worker
+  double queue_p50_s = 0;  // over recent jobs that reached a worker
   double queue_p99_s = 0;
   double queue_max_s = 0;
 
@@ -36,9 +48,28 @@ struct ServiceStats {
   /// Live service-wide I/O totals; per-job `JobInfo::io` deltas sum to
   /// these exactly (see SharedIoTotals).
   IoStats io;
+};
 
-  /// One entry per submitted job, in submission order.
-  std::vector<JobInfo> jobs;
+/// Instantaneous load of one service, cheap enough to poll per placement
+/// decision: what a cluster router weighs shards by.
+struct ShardLoad {
+  u32 shard = 0;
+  usize queued = 0;          // jobs waiting for a worker
+  usize running = 0;         // worker tasks in flight
+  usize reserved_bytes = 0;  // admission reservations currently held
+  usize budget_limit = 0;    // the shard's total memory budget
+  usize depth_in_use = 0;    // granted async pipeline depth
+
+  /// Scalar used to compare shards: in-flight work plus the reserved
+  /// memory fraction, so a shard with free workers but a nearly-exhausted
+  /// budget still reads as loaded.
+  double score() const {
+    const double mem = budget_limit == 0
+                           ? 0.0
+                           : static_cast<double>(reserved_bytes) /
+                                 static_cast<double>(budget_limit);
+    return static_cast<double>(queued + running) + mem;
+  }
 };
 
 /// q-quantile (q in [0,1]) of a sample by the nearest-rank method.

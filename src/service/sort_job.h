@@ -59,18 +59,29 @@ struct SortJobSpec {
   /// w.h.p. exponent for the expected-pass algorithms.
   double alpha = 1.0;
 
-  /// Soft deadline in seconds from submission; 0 = none. The service does
-  /// not (yet) schedule by deadline — it records misses in the stats.
+  /// Deadline in seconds from submission; 0 = none. Within a priority
+  /// band the queue orders deadlined jobs first (earliest deadline first,
+  /// then FIFO); misses are counted in the stats, and with
+  /// ServiceConfig::deadline_admission a job whose deadline is already
+  /// unmeetable under the planned pass count and queue state is rejected
+  /// at submission.
   double deadline_s = 0;
 
   /// Explicit memory carve override in bytes; 0 derives it from
   /// mem_records and the record size via ServiceConfig::mem_slack.
   usize carve_bytes = 0;
+
+  /// Stable routing key for cluster serving: jobs sharing a locality key
+  /// (a tenant id, a dataset name) hash to the same shard under the
+  /// kLocalityHash policy, so repeat tenants land where their plan-cache
+  /// and page-cache state is warm. Empty = no affinity.
+  std::string locality_key;
 };
 
 /// Snapshot of one job for stats/introspection.
 struct JobInfo {
   JobId id = 0;
+  u32 shard = 0;  // ServiceConfig::shard_id of the serving shard
   std::string name;
   JobState state = JobState::kQueued;
   u64 n = 0;
@@ -90,7 +101,9 @@ struct JobInfo {
 /// (N, M, B, alpha) instead of one per job.
 class PlanCache {
  public:
-  Algo choose(u64 n, u64 mem, u64 rpb, double alpha) {
+  /// Full plan entry for the shape (algorithm + expected pass count); the
+  /// pass count also drives deadline admission.
+  PlanEntry entry(u64 n, u64 mem, u64 rpb, double alpha) {
     const Key k{n, mem, rpb, alpha};
     {
       std::lock_guard g(mu_);
@@ -102,11 +115,15 @@ class PlanCache {
     }
     // Planning outside the lock: choose_plan may throw (no feasible
     // plan), which must not poison the cache or the mutex.
-    const Algo a = choose_plan(n, mem, rpb, alpha).algo;
+    const PlanEntry e = choose_plan(n, mem, rpb, alpha);
     std::lock_guard g(mu_);
     ++misses_;
-    cache_.emplace(k, a);
-    return a;
+    cache_.emplace(k, e);
+    return e;
+  }
+
+  Algo choose(u64 n, u64 mem, u64 rpb, double alpha) {
+    return entry(n, mem, rpb, alpha).algo;
   }
 
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -115,7 +132,7 @@ class PlanCache {
  private:
   using Key = std::tuple<u64, u64, u64, double>;
   std::mutex mu_;
-  std::map<Key, Algo> cache_;
+  std::map<Key, PlanEntry> cache_;
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
 };

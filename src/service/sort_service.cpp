@@ -1,7 +1,9 @@
 #include "service/sort_service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 
 namespace pdm {
 
@@ -39,8 +41,13 @@ struct SortService::Job {
   Clock::time_point t_submit;
   Clock::time_point t_start;
   Clock::time_point t_end;
+  Clock::time_point deadline_abs = Clock::time_point::max();
+  double est_run_s = 0;  // model-time estimate (deadline admission only)
   bool deadline_missed = false;
   bool batched = false;
+  // Set by cancel() while kRunning; polled by the sorter at batch
+  // boundaries through PdmContext::check_cancelled.
+  std::atomic<bool> cancel_flag{false};
 };
 
 SortService::SortService(std::shared_ptr<DiskBackend> backend,
@@ -68,50 +75,112 @@ SortService::~SortService() {
   for (auto& w : workers_) w.join();
 }
 
+usize SortService::admission_carve(const SortJobSpec& spec,
+                                   usize record_bytes) const {
+  return spec.carve_bytes != 0
+             ? spec.carve_bytes
+             : static_cast<usize>(cfg_.mem_slack *
+                                  static_cast<double>(spec.mem_records) *
+                                  static_cast<double>(record_bytes));
+}
+
+bool SortService::queue_before(const Job& a, const Job& b) const {
+  if (a.spec.priority != b.spec.priority) {
+    return a.spec.priority > b.spec.priority;
+  }
+  // EDF within the band; no-deadline jobs (deadline_abs = max) run after
+  // every deadlined one, FIFO among themselves.
+  if (a.deadline_abs != b.deadline_abs) return a.deadline_abs < b.deadline_abs;
+  return a.id < b.id;
+}
+
+double SortService::estimate_run_s(const Job& job) {
+  const usize bb = backend_->block_bytes();
+  if (job.record_bytes == 0 || bb % job.record_bytes != 0) return 0;
+  const u64 rpb = bb / job.record_bytes;
+  PlanEntry e;
+  try {
+    e = plans_.entry(job.n, job.spec.mem_records, rpb, job.spec.alpha);
+  } catch (const Error&) {
+    return 0;  // no feasible plan: the job fails on a worker, as always
+  }
+  // A pass is N/(D*B) parallel reads plus as many writes, each costing one
+  // seek + one block transfer under the service's cost model.
+  const double rounds_per_pass =
+      std::ceil(static_cast<double>(job.n) /
+                (static_cast<double>(rpb) * backend_->num_disks()));
+  return e.expected_passes * 2.0 * rounds_per_pass * cfg_.cost.round_cost(bb);
+}
+
 JobId SortService::submit_impl(SortJobSpec spec, u64 n, usize record_bytes,
                                u64 type_key,
                                std::function<void(JobExec&)> run) {
   PDM_CHECK(spec.mem_records > 0, "SortJobSpec.mem_records must be > 0");
   PDM_CHECK(n > 0, "cannot submit an empty sort job");
-  auto job = std::make_unique<Job>();
+  auto job = std::make_shared<Job>();
   job->spec = std::move(spec);
   job->n = n;
   job->record_bytes = record_bytes;
   job->type_key = type_key;
-  job->carve_bytes =
-      job->spec.carve_bytes != 0
-          ? job->spec.carve_bytes
-          : static_cast<usize>(cfg_.mem_slack *
-                               static_cast<double>(job->spec.mem_records) *
-                               static_cast<double>(record_bytes));
+  job->carve_bytes = admission_carve(job->spec, record_bytes);
   job->run = std::move(run);
   job->t_submit = Clock::now();
+  if (job->spec.deadline_s > 0) {
+    job->deadline_abs =
+        job->t_submit + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                job->spec.deadline_s));
+  }
+  // Planning for the admission estimate happens before the lock (the plan
+  // cache has its own); skipped entirely unless deadline admission is on.
+  if (cfg_.deadline_admission) job->est_run_s = estimate_run_s(*job);
 
   std::lock_guard g(mu_);
   PDM_CHECK(!stop_, "SortService is shutting down");
   job->id = next_id_++;
   const JobId id = job->id;
-  if (job->carve_bytes > budget_.limit()) {
-    // Admission control: this job can never be staged here.
+  ++submitted_;
+  auto reject = [&](std::string why) {
     job->state = JobState::kRejected;
-    job->error = "admission control: memory carve of " +
-                 std::to_string(job->carve_bytes) +
-                 " bytes exceeds the service budget of " +
-                 std::to_string(budget_.limit());
+    job->error = std::move(why);
     job->t_end = job->t_submit;
     job->run = {};  // terminal: release the dataset the closure co-owns
-    jobs_.emplace(id, std::move(job));
+    jobs_.emplace(id, job);
+    on_terminal_locked(*job);
     return id;
+  };
+  if (job->carve_bytes > budget_.limit()) {
+    // Admission control: this job can never be staged here.
+    return reject("admission control: memory carve of " +
+                  std::to_string(job->carve_bytes) +
+                  " bytes exceeds the service budget of " +
+                  std::to_string(budget_.limit()));
+  }
+  if (cfg_.deadline_admission && job->spec.deadline_s > 0 &&
+      job->est_run_s > 0) {
+    // Backlog the job would queue behind, spread over the workers, plus
+    // its own planned run time. Jobs whose shapes defeat estimation
+    // contribute zero — the check stays conservative toward admission.
+    double backlog = 0;
+    for (const Job* p : pending_) {
+      if (queue_before(*p, *job)) backlog += p->est_run_s;
+    }
+    const double wait = backlog / static_cast<double>(cfg_.workers);
+    if (wait + job->est_run_s > job->spec.deadline_s) {
+      return reject("deadline admission: estimated wait " +
+                    std::to_string(wait) + "s + run " +
+                    std::to_string(job->est_run_s) +
+                    "s exceeds deadline of " +
+                    std::to_string(job->spec.deadline_s) + "s");
+    }
   }
   job->batchable =
       cfg_.small_job_records > 0 && n <= cfg_.small_job_records;
   Job* raw = job.get();
   const auto pos = std::upper_bound(
-      pending_.begin(), pending_.end(), raw, [](const Job* a, const Job* b) {
-        if (a->spec.priority != b->spec.priority) {
-          return a->spec.priority > b->spec.priority;
-        }
-        return a->id < b->id;
+      pending_.begin(), pending_.end(), raw, [this](const Job* a,
+                                                    const Job* b) {
+        return queue_before(*a, *b);
       });
   pending_.insert(pos, raw);
   jobs_.emplace(id, std::move(job));
@@ -124,12 +193,20 @@ bool SortService::cancel(JobId id) {
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
   Job& job = *it->second;
-  if (job.state != JobState::kQueued) return false;
-  job.state = JobState::kCancelled;
-  job.t_end = Clock::now();
-  job.run = {};  // safe: a claimed member is only run while still kQueued
-  std::erase(pending_, &job);
-  done_cv_.notify_all();
+  if (job_state_terminal(job.state)) return false;
+  if (job.state == JobState::kQueued) {
+    job.state = JobState::kCancelled;
+    job.t_end = Clock::now();
+    job.run = {};  // safe: a claimed member is only run while still kQueued
+    std::erase(pending_, &job);
+    on_terminal_locked(job);
+    done_cv_.notify_all();
+    return true;
+  }
+  // kRunning: cooperative preemption. The worker observes the flag at the
+  // next batch boundary (or, at the latest, right before the completion
+  // callback) and commits the job as kCancelled.
+  job.cancel_flag.store(true, std::memory_order_relaxed);
   return true;
 }
 
@@ -137,7 +214,8 @@ JobInfo SortService::wait(JobId id) {
   std::unique_lock lock(mu_);
   auto it = jobs_.find(id);
   PDM_CHECK(it != jobs_.end(), "wait: unknown job id");
-  Job* job = it->second.get();
+  // Keep the record alive: retention may evict it while we sleep.
+  std::shared_ptr<Job> job = it->second;
   done_cv_.wait(lock, [&] { return job_state_terminal(job->state); });
   return snapshot_locked(*job);
 }
@@ -155,6 +233,7 @@ bool SortService::forget(JobId id) {
     return false;
   }
   jobs_.erase(it);
+  --retained_;
   return true;
 }
 
@@ -165,9 +244,15 @@ JobInfo SortService::info(JobId id) const {
   return snapshot_locked(*it->second);
 }
 
+bool SortService::known(JobId id) const {
+  std::lock_guard g(mu_);
+  return jobs_.count(id) != 0;
+}
+
 JobInfo SortService::snapshot_locked(const Job& job) const {
   JobInfo out;
   out.id = job.id;
+  out.shard = cfg_.shard_id;
   out.name = job.spec.name;
   out.state = job.state;
   out.n = job.n;
@@ -194,49 +279,113 @@ JobInfo SortService::snapshot_locked(const Job& job) const {
   return out;
 }
 
+void SortService::on_terminal_locked(Job& job) {
+  switch (job.state) {
+    case JobState::kDone: ++completed_; break;
+    case JobState::kFailed: ++failed_; break;
+    case JobState::kCancelled: ++cancelled_; break;
+    case JobState::kRejected: ++rejected_; break;
+    default: PDM_ASSERT(false, "on_terminal_locked on a live job"); break;
+  }
+  if (job.deadline_missed) ++deadline_missed_;
+  if (job.state == JobState::kDone || job.state == JobState::kFailed) {
+    const bool started = job.t_start != Clock::time_point{};
+    const double queue_s = started ? seconds(job.t_start - job.t_submit)
+                                   : seconds(job.t_end - job.t_submit);
+    if (queue_samples_.size() < kQueueSampleCap) {
+      queue_samples_.push_back(queue_s);
+    } else {
+      queue_samples_[queue_samples_next_] = queue_s;
+      queue_samples_next_ = (queue_samples_next_ + 1) % kQueueSampleCap;
+    }
+  }
+  ++retained_;
+  terminal_fifo_.emplace_back(job.id, job.t_end);
+  evict_locked(job.t_end);
+}
+
+void SortService::evict_locked(Clock::time_point now) {
+  auto drop_front = [&] {
+    const JobId id = terminal_fifo_.front().first;
+    terminal_fifo_.pop_front();
+    auto it = jobs_.find(id);
+    // The entry may be stale: forget() erases records without scrubbing
+    // the FIFO.
+    if (it != jobs_.end() && job_state_terminal(it->second->state)) {
+      jobs_.erase(it);
+      --retained_;
+      ++evicted_;
+    }
+  };
+  if (cfg_.retain_ttl_s > 0) {
+    while (!terminal_fifo_.empty() &&
+           seconds(now - terminal_fifo_.front().second) > cfg_.retain_ttl_s) {
+      drop_front();
+    }
+  }
+  if (cfg_.retain_terminal_max > 0) {
+    while (retained_ > cfg_.retain_terminal_max && !terminal_fifo_.empty()) {
+      drop_front();
+    }
+  }
+}
+
 ServiceStats SortService::stats() const {
   std::lock_guard g(mu_);
   ServiceStats s;
-  s.submitted = jobs_.size();
-  std::vector<double> queue_lat;
-  for (const auto& [id, jp] : jobs_) {
-    JobInfo info = snapshot_locked(*jp);
-    switch (info.state) {
-      case JobState::kDone: ++s.completed; break;
-      case JobState::kFailed: ++s.failed; break;
-      case JobState::kCancelled: ++s.cancelled; break;
-      case JobState::kRejected: ++s.rejected; break;
-      default: break;
-    }
-    if (info.state == JobState::kDone || info.state == JobState::kFailed) {
-      queue_lat.push_back(info.queue_s);
-    }
-    if (info.deadline_missed) ++s.deadline_missed;
-    s.jobs.push_back(std::move(info));
-  }
-  if (!queue_lat.empty()) {
-    s.queue_p50_s = quantile(queue_lat, 0.5);
-    s.queue_p99_s = quantile(queue_lat, 0.99);
-    s.queue_max_s = *std::max_element(queue_lat.begin(), queue_lat.end());
-  }
+  s.shard_id = cfg_.shard_id;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.cancelled = cancelled_;
+  s.rejected = rejected_;
+  s.deadline_missed = deadline_missed_;
+  s.retained = retained_;
+  s.evicted = evicted_;
   s.batches_run = batches_run_;
   s.plan_cache_hits = plans_.hits();
   s.plan_cache_misses = plans_.misses();
   s.peak_memory_bytes = budget_.peak();
   s.io = io_totals_.snapshot();
-  if (s.completed > 0 && any_start_) {
+  if (!queue_samples_.empty()) {
+    s.queue_p50_s = quantile(queue_samples_, 0.5);
+    s.queue_p99_s = quantile(queue_samples_, 0.99);
+    s.queue_max_s = *std::max_element(queue_samples_.begin(),
+                                      queue_samples_.end());
+  }
+  if (completed_ > 0 && any_start_) {
     s.busy_window_s = seconds(last_end_ - first_start_);
     s.jobs_per_sec =
-        static_cast<double>(s.completed) / std::max(1e-9, s.busy_window_s);
+        static_cast<double>(completed_) / std::max(1e-9, s.busy_window_s);
   }
   return s;
+}
+
+std::vector<JobInfo> SortService::jobs() const {
+  std::lock_guard g(mu_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, jp] : jobs_) out.push_back(snapshot_locked(*jp));
+  return out;
+}
+
+ShardLoad SortService::load() const {
+  std::lock_guard g(mu_);
+  ShardLoad l;
+  l.shard = cfg_.shard_id;
+  l.queued = pending_.size();
+  l.running = active_tasks_;
+  l.reserved_bytes = budget_.current();
+  l.budget_limit = budget_.limit();
+  l.depth_in_use = depth_in_use_;
+  return l;
 }
 
 SortService::Claim SortService::try_claim_locked() {
   for (usize i = 0; i < pending_.size(); ++i) {
     Job* head = pending_[i];
     Claim claim;
-    claim.members.push_back(head);
+    claim.members.push_back(jobs_.at(head->id));
     claim.carve = head->carve_bytes;
     if (head->batchable) {
       for (usize k = i + 1;
@@ -244,7 +393,7 @@ SortService::Claim SortService::try_claim_locked() {
            ++k) {
         Job* other = pending_[k];
         if (other->batchable && other->type_key == head->type_key) {
-          claim.members.push_back(other);
+          claim.members.push_back(jobs_.at(other->id));
           // Members run sequentially over one context, so the batch needs
           // only the largest member's carve at any moment.
           claim.carve = std::max(claim.carve, other->carve_bytes);
@@ -255,11 +404,13 @@ SortService::Claim SortService::try_claim_locked() {
     // a smaller job further back may still be admittable.
     if (!budget_.try_acquire(claim.carve)) continue;
     if (claim.members.size() > 1) {
-      for (Job* j : claim.members) j->batched = true;
+      for (auto& j : claim.members) j->batched = true;
     }
     std::erase_if(pending_, [&](Job* j) {
-      return std::find(claim.members.begin(), claim.members.end(), j) !=
-             claim.members.end();
+      return std::any_of(claim.members.begin(), claim.members.end(),
+                         [&](const std::shared_ptr<Job>& m) {
+                           return m.get() == j;
+                         });
     });
     return claim;
   }
@@ -307,18 +458,19 @@ void SortService::run_claim(Claim& claim, usize depth) {
     PdmContext ctx(backend_, alloc_, claim.carve, cfg_.cost,
                    cfg_.seed + claim.members.front()->id, &io_totals_);
     if (depth >= 2) ctx.set_async_depth(depth);
-    for (Job* j : claim.members) run_one(*j, ctx);
+    for (auto& j : claim.members) run_one(*j, ctx);
   } catch (const std::exception& e) {
     // Context setup or teardown failed: every member that has not reached
     // a terminal state goes down with it.
     const auto now = Clock::now();
     std::lock_guard g(mu_);
-    for (Job* j : claim.members) {
+    for (auto& j : claim.members) {
       if (job_state_terminal(j->state)) continue;
       j->state = JobState::kFailed;
       j->error = e.what();
       j->t_end = now;
       j->run = {};
+      on_terminal_locked(*j);
     }
     done_cv_.notify_all();
   }
@@ -335,6 +487,9 @@ void SortService::run_one(Job& job, PdmContext& ctx) {
       any_start_ = true;
     }
   }
+  // This member's cooperative cancellation flag; cleared before the
+  // (batch-shared) context moves on to the next member.
+  ctx.set_cancel_flag(&job.cancel_flag);
   // Bound write-behind staging to ~M bytes per slab so a bulk write of
   // the whole dataset cannot blow the job's carve; oversized batches run
   // as ordered synchronous writes instead (stats-identical).
@@ -351,6 +506,9 @@ void SortService::run_one(Job& job, PdmContext& ctx) {
                plans_,      cfg_.sort_pool,       {}};
     job.run(ex);
     report = std::move(ex.report);
+  } catch (const Cancelled& e) {
+    ok = false;
+    error = e.what();
   } catch (const std::exception& e) {
     ok = false;
     error = e.what();
@@ -358,7 +516,7 @@ void SortService::run_one(Job& job, PdmContext& ctx) {
   try {
     // Settle in-flight writes so the stats delta below is this job's
     // complete I/O (ReportBuilder drained the success path already; this
-    // covers failures and callback-issued reads).
+    // covers failures, cancellations and callback-issued reads).
     ctx.aio().drain();
   } catch (const std::exception& e) {
     if (ok) {
@@ -366,6 +524,7 @@ void SortService::run_one(Job& job, PdmContext& ctx) {
       error = e.what();
     }
   }
+  ctx.set_cancel_flag(nullptr);
   const IoStats after = ctx.stats();
   const auto end = Clock::now();
 
@@ -373,18 +532,30 @@ void SortService::run_one(Job& job, PdmContext& ctx) {
   job.t_end = end;
   last_end_ = std::max(last_end_, end);
   job.run = {};  // terminal: release the dataset/callback captures
+  // The delta is recorded whatever the outcome: a cancelled or failed
+  // job's charges were mirrored into the service totals, so the per-job
+  // sums stay exact.
   job.io = delta(after, before);
-  if (ok) {
+  if (job.cancel_flag.load(std::memory_order_relaxed)) {
+    // cancel() promised kCancelled the moment it returned true — even if
+    // the sort outran the flag, the completed work is discarded.
+    job.state = JobState::kCancelled;
+    job.error = error.empty() ? "cancelled while running" : error;
+  } else if (ok) {
     job.state = JobState::kDone;
     job.algorithm = report.algorithm;
     job.report = std::move(report);
+    job.deadline_missed =
+        job.spec.deadline_s > 0 &&
+        seconds(job.t_end - job.t_submit) > job.spec.deadline_s;
   } else {
     job.state = JobState::kFailed;
     job.error = std::move(error);
+    job.deadline_missed =
+        job.spec.deadline_s > 0 &&
+        seconds(job.t_end - job.t_submit) > job.spec.deadline_s;
   }
-  job.deadline_missed =
-      job.spec.deadline_s > 0 &&
-      seconds(job.t_end - job.t_submit) > job.spec.deadline_s;
+  on_terminal_locked(job);
   done_cv_.notify_all();
 }
 

@@ -7,13 +7,18 @@
 //  - admission control: every job must reserve a memory carve
 //    (try_acquire on the service-wide MemoryBudget) before it may start;
 //    jobs whose carve can never fit are rejected at submission, the rest
-//    queue until memory frees up;
+//    queue until memory frees up. With deadline_admission on, a job whose
+//    deadline cannot be met under its planned pass count and the current
+//    queue backlog is rejected up front instead of missing silently;
+//  - scheduling: priority bands, and within a band earliest-deadline-
+//    first (no-deadline jobs after deadlined ones, FIFO among equals);
 //  - planning: each admitted job is planned through AdaptiveSorter with
 //    its *budgeted* M (not the machine's), via a PlanCache so jobs
 //    sharing a shape cost one planner invocation;
 //  - execution: a fixed pool of service workers runs jobs concurrently,
 //    each in its own job PdmContext (shared backend + shared thread-safe
-//    block allocator, private scheduler/budget/RNG);
+//    block allocator, private scheduler/budget/RNG); running jobs observe
+//    a cooperative cancellation flag at batch boundaries;
 //  - I/O arbitration: the async pipeline depth granted to a job is its
 //    share of ServiceConfig::io_depth_total, so the aggregate
 //    prefetch/write-behind buffering across active jobs never exceeds
@@ -21,12 +26,17 @@
 //    synchronously);
 //  - batching: small jobs sharing a record type coalesce into one worker
 //    task over one context;
-//  - observability: ServiceStats aggregates per-job reports, queue
-//    latency percentiles, throughput and live service-wide IoStats that
-//    per-job deltas sum to exactly.
+//  - retention: terminal job records are bounded (count and/or TTL), and
+//    the aggregate stats are maintained incrementally so a long-lived
+//    service neither grows without bound nor pays O(jobs) per stats();
+//  - observability: ServiceStats aggregates counters, queue latency
+//    percentiles, throughput and live service-wide IoStats that per-job
+//    deltas sum to exactly; ShardLoad is the cheap instantaneous load
+//    snapshot a cluster router places by.
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -63,6 +73,26 @@ struct ServiceConfig {
 
   /// Max jobs coalesced into one batch.
   usize batch_max = 8;
+
+  /// Identifies this service within a cluster (stamped into JobInfo and
+  /// ServiceStats; shard 0 = standalone).
+  u32 shard_id = 0;
+
+  /// Reject-at-admission for unmeetable deadlines: a deadlined job is
+  /// rejected if (estimated queue wait + planned pass count * parallel-op
+  /// cost under `cost`) already exceeds its deadline. Off by default —
+  /// the estimate is model time, which only tracks wall clock when the
+  /// backend is configured to simulate the same CostModel.
+  bool deadline_admission = false;
+
+  /// Retention policy for terminal job records: keep at most this many
+  /// (0 = unbounded) ...
+  usize retain_terminal_max = 0;
+
+  /// ... and drop records older than this many seconds past their
+  /// terminal transition (0 = no TTL; checked whenever a job goes
+  /// terminal). Lifetime counters in stats() are unaffected.
+  double retain_ttl_s = 0;
 
   CostModel cost{};
   u64 seed = 1;
@@ -107,34 +137,65 @@ class SortService {
                                 ex.ctx.rpb<R>(), ex.alpha);
       auto res = pdm_sort<R>(ex.ctx, in, o, cmp);
       ex.report = res.report;
+      // A cancellation that lands after the last in-sort check still
+      // suppresses the completion callback.
+      ex.ctx.check_cancelled();
       if (cb) cb(res);
     };
     return submit_impl(std::move(spec), n, sizeof(R), typeid(R).hash_code(),
                        std::move(run));
   }
 
-  /// Cancels a job that is still queued (including claimed-but-not-yet-
-  /// started batch members). Returns false if unknown or already past
-  /// the queue — running jobs are not interrupted.
+  /// Cancels a job. Queued jobs (including claimed-but-not-yet-started
+  /// batch members) go terminal immediately; running jobs get their
+  /// cooperative flag set and stop at the next batch boundary. Returns
+  /// true iff the job will reach JobState::kCancelled — for a running job
+  /// the sort may already be past its last checkpoint, in which case the
+  /// finished work is discarded and the job still reports kCancelled
+  /// (the completion callback is suppressed from the last checkpoint on).
+  /// False for unknown ids and jobs already terminal.
   bool cancel(JobId id);
 
   /// Blocks until the job reaches a terminal state; returns its record.
+  /// Throws for unknown ids — including records already dropped by the
+  /// retention policy, so with retention on, size retain_terminal_max /
+  /// retain_ttl_s to cover the window in which callers still wait on
+  /// terminal jobs. (A waiter already blocked inside wait() is safe:
+  /// it holds the record and returns normally even if evicted meanwhile.)
   JobInfo wait(JobId id);
 
   /// Blocks until no job is queued or running.
   void drain();
 
-  /// Snapshot of one job (throws on unknown id).
+  /// Snapshot of one job (throws on unknown — possibly evicted — id).
   JobInfo info(JobId id) const;
 
-  /// Drops the record of a terminal job so a long-lived service does not
-  /// retain every job ever submitted. Returns false if the id is unknown
-  /// or the job is still queued/running. Aggregate counters in stats()
-  /// lose the forgotten job's contribution except the live I/O totals.
+  /// Whether a record (live or terminal) still exists for `id` — false
+  /// once forget() or the retention policy dropped it.
+  bool known(JobId id) const;
+
+  /// Drops the record of a terminal job explicitly (retention works even
+  /// without this — see ServiceConfig::retain_terminal_max/retain_ttl_s).
+  /// Returns false if the id is unknown or the job is still
+  /// queued/running. Lifetime counters in stats() are unaffected.
   bool forget(JobId id);
 
-  /// Snapshot of the whole service.
+  /// Aggregate snapshot. O(1) in the number of retained job records: the
+  /// counters are maintained at terminal transitions, and the queue
+  /// percentiles come from a bounded ring of recent samples.
   ServiceStats stats() const;
+
+  /// Per-job snapshots of every retained job, in submission order.
+  std::vector<JobInfo> jobs() const;
+
+  /// Instantaneous load (one mutex acquisition) for routing decisions.
+  ShardLoad load() const;
+
+  /// The memory carve this service would require of `spec` at admission:
+  /// spec.carve_bytes, or mem_slack * mem_records * record_bytes. A carve
+  /// above budget().limit() means the job would be rejected — the cluster
+  /// router spills such jobs to a shard where they fit.
+  usize admission_carve(const SortJobSpec& spec, usize record_bytes) const;
 
   /// The service-wide budget (reservations; peak = admission pressure).
   MemoryBudget& budget() noexcept { return budget_; }
@@ -145,7 +206,9 @@ class SortService {
  private:
   struct Job;
   struct Claim {
-    std::vector<Job*> members;
+    // shared_ptr: a member that goes terminal mid-batch may be evicted by
+    // the retention policy while the batch still runs.
+    std::vector<std::shared_ptr<Job>> members;
     usize carve = 0;
   };
   using Clock = std::chrono::steady_clock;
@@ -158,6 +221,13 @@ class SortService {
   void run_claim(Claim& claim, usize depth);
   void run_one(Job& job, PdmContext& ctx);
   JobInfo snapshot_locked(const Job& job) const;
+  bool queue_before(const Job& a, const Job& b) const;
+  double estimate_run_s(const Job& job);
+  /// Bumps the lifetime counters, records the queue-latency sample, and
+  /// applies the retention policy. Call once, right after a job's state
+  /// goes terminal (t_end set), still under the mutex.
+  void on_terminal_locked(Job& job);
+  void evict_locked(Clock::time_point now);
 
   std::shared_ptr<DiskBackend> backend_;
   ServiceConfig cfg_;
@@ -170,8 +240,9 @@ class SortService {
   std::condition_variable work_cv_;  // workers: queue or memory changed
   std::condition_variable done_cv_;  // waiters: a job reached terminal
   std::vector<std::thread> workers_;
-  std::map<JobId, std::unique_ptr<Job>> jobs_;  // id order = submit order
-  std::vector<Job*> pending_;  // sorted: priority desc, then id asc
+  // shared_ptr so a wait()er survives a concurrent forget()/eviction.
+  std::map<JobId, std::shared_ptr<Job>> jobs_;  // id order = submit order
+  std::vector<Job*> pending_;  // sorted: priority desc, EDF, id asc
   JobId next_id_ = 1;
   bool stop_ = false;
   usize active_tasks_ = 0;
@@ -180,6 +251,20 @@ class SortService {
   bool any_start_ = false;
   Clock::time_point first_start_;
   Clock::time_point last_end_;
+
+  // Incremental aggregates (all guarded by mu_).
+  u64 submitted_ = 0;
+  u64 completed_ = 0;
+  u64 failed_ = 0;
+  u64 cancelled_ = 0;
+  u64 rejected_ = 0;
+  u64 deadline_missed_ = 0;
+  u64 retained_ = 0;
+  u64 evicted_ = 0;
+  std::vector<double> queue_samples_;  // ring of recent queue latencies
+  usize queue_samples_next_ = 0;
+  static constexpr usize kQueueSampleCap = 4096;
+  std::deque<std::pair<JobId, Clock::time_point>> terminal_fifo_;
 };
 
 }  // namespace pdm

@@ -26,6 +26,15 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a sorter observes a cooperative cancellation flag at a
+/// batch boundary (PdmContext::check_cancelled). Callers that run sorts
+/// on behalf of others — the sort service — catch it separately from
+/// Error so a cancelled job is not reported as a failed one.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 [[noreturn]] inline void fail(const std::string& msg,
                               std::source_location loc =
                                   std::source_location::current()) {

@@ -8,7 +8,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "pdm/memory_backend.h"
@@ -154,10 +158,12 @@ TEST(SortService, CancelMidQueue)
   // Cancelling a finished or unknown job is a no-op.
   EXPECT_FALSE(svc.cancel(running));
   EXPECT_FALSE(svc.cancel(9999));
-  // Terminal records can be dropped; unknown ids cannot.
+  // Terminal records can be dropped; unknown ids cannot. Lifetime
+  // counters survive the forget — only the retained record count drops.
   EXPECT_TRUE(svc.forget(running));
   EXPECT_FALSE(svc.forget(running));
-  EXPECT_EQ(svc.stats().submitted, queued.size());
+  EXPECT_EQ(svc.stats().submitted, queued.size() + 1);
+  EXPECT_EQ(svc.stats().retained, queued.size());
 }
 
 TEST(SortService, InfeasibleShapeFailsCleanly)
@@ -301,7 +307,9 @@ TEST(SortService, StressMixedWorkloadAccountingInvariant)
   EXPECT_GE(st.queue_p99_s, st.queue_p50_s);
 
   // Every job's report stayed within its memory carve.
-  for (const JobInfo& j : st.jobs) {
+  const std::vector<JobInfo> job_infos = svc.jobs();
+  EXPECT_EQ(job_infos.size(), st.retained);
+  for (const JobInfo& j : job_infos) {
     if (j.state != JobState::kDone) continue;
     EXPECT_LE(j.report.peak_memory_bytes,
               static_cast<usize>(cfg.mem_slack * kMem * sizeof(KV64)))
@@ -312,7 +320,7 @@ TEST(SortService, StressMixedWorkloadAccountingInvariant)
   // service totals — nothing double-counted, nothing lost.
   IoStats sum;
   sum.reset(kDisks);
-  for (const JobInfo& j : st.jobs) {
+  for (const JobInfo& j : job_infos) {
     sum.read_ops += j.io.read_ops;
     sum.write_ops += j.io.write_ops;
     sum.blocks_read += j.io.blocks_read;
@@ -331,6 +339,150 @@ TEST(SortService, StressMixedWorkloadAccountingInvariant)
     EXPECT_EQ(sum.disk_reads[d], st.io.disk_reads[d]) << "disk " << d;
     EXPECT_EQ(sum.disk_writes[d], st.io.disk_writes[d]) << "disk " << d;
   }
+}
+
+TEST(SortService, PreemptiveCancelStopsRunningJob)
+{
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  Rng rng(20);
+  const auto data = make_keys(16 * kMem, Dist::kPermutation, rng);
+
+  // Baseline: the same job run to completion, for its full I/O cost.
+  u64 solo_ops = 0;
+  {
+    SortService svc(make_backend(100), cfg);
+    const JobId id = svc.submit<u64>(spec_of("solo"), data);
+    const JobInfo info = svc.wait(id);
+    ASSERT_EQ(info.state, JobState::kDone);
+    solo_ops = info.io.total_ops();
+  }
+
+  SortService svc(make_backend(100), cfg);
+  std::atomic<int> callback_ran{0};
+  const JobId id = svc.submit<u64>(
+      spec_of("victim"), data, std::less<u64>{},
+      [&](const SortResult<u64>&) { ++callback_ran; });
+  // Wait until the worker has actually started it, then preempt.
+  while (svc.info(id).state == JobState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_EQ(svc.info(id).state, JobState::kRunning);
+  EXPECT_TRUE(svc.cancel(id));
+  const JobInfo info = svc.wait(id);
+  EXPECT_EQ(info.state, JobState::kCancelled);
+  EXPECT_NE(info.error.find("cancel"), std::string::npos);
+  EXPECT_EQ(callback_ran.load(), 0);
+  // It stopped mid-flight: strictly less I/O than the full sort.
+  EXPECT_LT(info.io.total_ops(), solo_ops);
+  EXPECT_EQ(svc.stats().cancelled, 1u);
+  // The service keeps serving after a mid-flight stop.
+  std::atomic<int> ok{0}, bad{0};
+  const JobId after = submit_verified(
+      svc, spec_of("after"), make_keys(2 * kMem, Dist::kPermutation, rng),
+      ok, bad);
+  EXPECT_EQ(svc.wait(after).state, JobState::kDone);
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(SortService, EdfOrdersWithinPriorityBand)
+{
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  SortService svc(make_backend(200), cfg);  // keep the worker busy
+  Rng rng(21);
+  // Blocker occupies the single worker while the deadlined jobs queue; a
+  // higher priority makes it first even if the worker wakes late.
+  const JobId blocker = svc.submit<u64>(
+      spec_of("blocker", 1), make_keys(8 * kMem, Dist::kPermutation, rng));
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  auto tracked = [&](std::string name, double deadline_s) {
+    SortJobSpec s = spec_of(name);
+    s.deadline_s = deadline_s;
+    return svc.submit<u64>(
+        std::move(s), make_keys(2 * kMem, Dist::kUniform, rng),
+        std::less<u64>{}, [&order, &order_mu, name](const SortResult<u64>&) {
+          std::lock_guard g(order_mu);
+          order.push_back(name);
+        });
+  };
+  // Submission order deliberately inverts deadline order.
+  tracked("no-deadline", 0);
+  tracked("loose", 60.0);
+  tracked("tight", 30.0);
+  svc.drain();
+  EXPECT_EQ(svc.wait(blocker).state, JobState::kDone);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "tight");
+  EXPECT_EQ(order[1], "loose");
+  EXPECT_EQ(order[2], "no-deadline");
+}
+
+TEST(SortService, DeadlineAdmissionRejectsUnmeetable)
+{
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.deadline_admission = true;
+  SortService svc(make_backend(), cfg);
+  Rng rng(22);
+  // Planned cost under the default CostModel is ~seconds; a millisecond
+  // deadline is unmeetable before the job even queues.
+  SortJobSpec hopeless = spec_of("hopeless");
+  hopeless.deadline_s = 1e-3;
+  const JobId r =
+      svc.submit<u64>(hopeless, make_keys(8 * kMem, Dist::kPermutation, rng));
+  const JobInfo rejected = svc.wait(r);
+  EXPECT_EQ(rejected.state, JobState::kRejected);
+  EXPECT_NE(rejected.error.find("deadline admission"), std::string::npos);
+  // A generous deadline still admits and completes.
+  SortJobSpec fine = spec_of("fine");
+  fine.deadline_s = 3600;
+  const JobId a =
+      svc.submit<u64>(fine, make_keys(8 * kMem, Dist::kPermutation, rng));
+  EXPECT_EQ(svc.wait(a).state, JobState::kDone);
+  EXPECT_EQ(svc.stats().rejected, 1u);
+}
+
+TEST(SortService, RetentionEvictsTerminalRecords)
+{
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.retain_terminal_max = 3;
+  SortService svc(make_backend(), cfg);
+  Rng rng(23);
+  std::atomic<int> ok{0}, bad{0};
+  for (int i = 0; i < 8; ++i) {
+    submit_verified(svc, spec_of("r" + std::to_string(i)),
+                    make_keys(2 * kMem, Dist::kPermutation, rng), ok, bad);
+  }
+  svc.drain();
+  const ServiceStats st = svc.stats();
+  // Lifetime counters see all 8; the record store is bounded at 3.
+  EXPECT_EQ(st.submitted, 8u);
+  EXPECT_EQ(st.completed, 8u);
+  EXPECT_EQ(st.retained, 3u);
+  EXPECT_EQ(st.evicted, 5u);
+  EXPECT_EQ(svc.jobs().size(), 3u);
+  EXPECT_EQ(ok.load(), 8);
+  EXPECT_EQ(bad.load(), 0);
+
+  // TTL mode: every record older than the (tiny) TTL is dropped as soon
+  // as a later job goes terminal; only records younger than the TTL — in
+  // practice the last transition — survive.
+  ServiceConfig ttl_cfg;
+  ttl_cfg.workers = 1;
+  ttl_cfg.retain_ttl_s = 1e-9;
+  SortService ttl_svc(make_backend(), ttl_cfg);
+  for (int i = 0; i < 4; ++i) {
+    submit_verified(ttl_svc, spec_of("t" + std::to_string(i)),
+                    make_keys(2 * kMem, Dist::kPermutation, rng), ok, bad);
+  }
+  ttl_svc.drain();
+  const ServiceStats ts = ttl_svc.stats();
+  EXPECT_EQ(ts.completed, 4u);
+  EXPECT_LE(ts.retained, 1u);
+  EXPECT_GE(ts.evicted, 3u);
 }
 
 TEST(SortService, DeadlineMissIsRecorded)
