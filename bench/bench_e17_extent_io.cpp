@@ -1,0 +1,267 @@
+// E17 — extent-based allocation + multi-block I/O coalescing, end to end.
+//
+// The paper's pass bounds assume each pass streams data in large
+// sequential transfers per disk; a block-at-a-time I/O path turns every
+// logical transfer into one syscall (or one simulated seek) per block,
+// and block-granular bump allocation interleaves concurrent jobs' runs so
+// nothing is ever physically adjacent. This bench measures what the
+// extent layer buys back, holding the paper accounting fixed:
+//
+//  - File arm (gated): the same multi-tenant workload on FileDiskBackend
+//    at 4 concurrent workers, extents+coalescing ON vs the block-at-a-
+//    time baseline (extent_blocks=1, coalescing off). Wall clock must
+//    improve by >= --gate (default 1.3x), with per-job pass counts equal
+//    and aggregate IoStats block counts identical — only read_calls/
+//    write_calls (syscalls) may differ.
+//
+//  - Memory arm (reported + sanity-gated): the same workload on one
+//    shared MemoryDiskBackend under the StreamModel. Four tenants cycle
+//    more working regions than the per-disk stream cache holds, so the
+//    block-at-a-time arm pays a positioning charge on nearly every
+//    block; extent transfers amortize one seek over the whole span, so
+//    the stream hit rate must improve within this single shard.
+#include <filesystem>
+#include <memory>
+
+#include "bench_support.h"
+#include "pdm/file_backend.h"
+#include "pdm/memory_backend.h"
+#include "service/sort_service.h"
+
+using namespace pdm;
+using namespace pdm::bench;
+
+namespace {
+
+struct ArmResult {
+  double makespan_s = 0;
+  double coalesced_ratio = 0;
+  u64 blocks = 0;
+  u64 calls = 0;
+  double stream_hit_rate = 0;
+  std::vector<double> passes;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  banner("E17 / extent I/O",
+         "Extent-based allocation + multi-block coalescing through the "
+         "whole disk path: wall clock and syscall counts at 4 concurrent "
+         "jobs, block counts and pass counts pinned to the "
+         "block-at-a-time baseline.");
+
+  // Default geometry: fine blocks (128 bytes) over a narrow array, jobs
+  // a few memory-loads deep — the regime where per-block syscall overhead
+  // and per-block positioning charges dominate, i.e. exactly what the
+  // paper's large-sequential-transfer assumption abstracts away and the
+  // extent layer restores.
+  const u64 mem = cli.get_u64("m", 4096);
+  const u64 rpb = cli.get_u64("rpb", 16);
+  const u32 disks = static_cast<u32>(cli.get_u64("disks", 4));
+  const usize workers = static_cast<usize>(cli.get_u64("workers", 4));
+  const u64 num_jobs = cli.get_u64("jobs", 24);
+  const u64 n_mult = cli.get_u64("n_mult", 4);  // records per job = n_mult*M
+  const u64 repeats = cli.get_u64("repeats", 3);
+  const double gate = cli.get_double("gate", 1.3);
+  const std::string json_out = cli.get("json_out", "BENCH_PR4.json");
+
+  StreamModel stream;
+  stream.seq_us = cli.get_u64("seq_us", 4);
+  stream.seek_us = cli.get_u64("seek_us", 120);
+  stream.streams = static_cast<u32>(cli.get_u64("streams", 2));
+  stream.window_blocks = cli.get_u64("window", 8);
+
+  Rng rng(11);
+  std::vector<std::vector<u64>> datasets;
+  for (u64 j = 0; j < num_jobs; ++j) {
+    datasets.push_back(make_keys(static_cast<usize>(n_mult * mem),
+                                 Dist::kPermutation, rng));
+  }
+  std::cout << num_jobs << " jobs x " << n_mult * mem << " u64 records, M = "
+            << mem << ", B = " << rpb << " records (" << rpb * sizeof(u64)
+            << " bytes), D = " << disks << ", " << workers
+            << " concurrent workers\n\n";
+
+  ServiceConfig base_cfg;
+  base_cfg.workers = workers;
+  base_cfg.io_depth_total = 8;
+  base_cfg.total_memory_bytes = usize{256} << 20;
+  base_cfg.seed = 42;
+
+  auto run_jobs = [&](SortService& svc, ArmResult& r) {
+    std::vector<JobId> ids;
+    for (u64 j = 0; j < num_jobs; ++j) {
+      SortJobSpec spec;
+      spec.name = "job" + std::to_string(j);
+      spec.mem_records = mem;
+      ids.push_back(svc.submit<u64>(
+          spec, datasets[static_cast<usize>(j)], std::less<u64>{},
+          [n = datasets[static_cast<usize>(j)].size()](
+              const SortResult<u64>& res) {
+            PDM_CHECK(res.output.size() == n, "E17: wrong output size");
+            auto v = res.output.read_all();
+            for (usize i = 1; i < v.size(); ++i) {
+              PDM_CHECK(v[i - 1] <= v[i], "E17: output not sorted");
+            }
+          }));
+    }
+    svc.drain();
+    for (JobId id : ids) {
+      const JobInfo info = svc.wait(id);
+      PDM_CHECK(info.state == JobState::kDone, "E17: job not done: " +
+                                                   info.error);
+      r.passes.push_back(info.report.passes);
+    }
+  };
+
+  auto config_arm = [&](bool extents) {
+    ServiceConfig cfg = base_cfg;
+    if (!extents) {
+      cfg.extent_blocks = 1;  // legacy block-interleaved bump allocation
+      cfg.coalesce_io = false;
+    }
+    return cfg;
+  };
+
+  // --- file arm: real syscalls, gated -----------------------------------
+  const std::string dir = "/tmp/pdmsort_e17_files";
+  auto run_file_arm = [&](bool extents) {
+    ArmResult r;
+    double best = -1;
+    for (u64 rep = 0; rep < repeats; ++rep) {
+      ArmResult cur;
+      auto backend = std::make_shared<FileDiskBackend>(
+          disks, static_cast<usize>(rpb) * sizeof(u64), dir);
+      SortService svc(backend, config_arm(extents));
+      Timer timer;
+      run_jobs(svc, cur);
+      cur.makespan_s = timer.seconds();
+      const IoStats io = svc.stats().io;
+      cur.blocks = io.total_blocks();
+      cur.calls = io.total_calls();
+      cur.coalesced_ratio = io.coalesced_ratio();
+      if (best < 0 || cur.makespan_s < best) {
+        best = cur.makespan_s;
+        r = cur;
+      }
+    }
+    std::filesystem::remove_all(dir);
+    return r;
+  };
+
+  // --- memory arm: StreamModel occupancy, single shard ------------------
+  auto run_memory_arm = [&](bool extents) {
+    ArmResult r;
+    auto backend = std::make_shared<MemoryDiskBackend>(
+        disks, static_cast<usize>(rpb) * sizeof(u64));
+    backend->set_stream_model(stream);
+    SortService svc(backend, config_arm(extents));
+    Timer timer;
+    run_jobs(svc, r);
+    r.makespan_s = timer.seconds();
+    const IoStats io = svc.stats().io;
+    r.blocks = io.total_blocks();
+    r.calls = io.total_calls();
+    r.coalesced_ratio = io.coalesced_ratio();
+    const u64 hits = backend->stream_hits();
+    const u64 misses = backend->stream_misses();
+    r.stream_hit_rate = hits + misses == 0
+                            ? 0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(hits + misses);
+    return r;
+  };
+
+  const ArmResult fbase = run_file_arm(false);
+  const ArmResult fext = run_file_arm(true);
+  const ArmResult mbase = run_memory_arm(false);
+  const ArmResult mext = run_memory_arm(true);
+
+  const bool passes_equal =
+      fbase.passes == fext.passes && mbase.passes == mext.passes;
+  const bool blocks_equal =
+      fbase.blocks == fext.blocks && mbase.blocks == mext.blocks;
+  const double file_speedup =
+      fbase.makespan_s / std::max(1e-9, fext.makespan_s);
+  const double mem_speedup =
+      mbase.makespan_s / std::max(1e-9, mext.makespan_s);
+
+  Table t({"arm", "io_path", "makespan_s", "speedup", "blocks", "calls",
+           "coalesced", "stream_hits", "passes_eq"});
+  auto add_row = [&](const std::string& arm, const std::string& path,
+                     const ArmResult& r, double speedup) {
+    t.row()
+        .cell(arm)
+        .cell(path)
+        .cell(r.makespan_s, 3)
+        .cell(speedup, 2)
+        .cell(r.blocks)
+        .cell(r.calls)
+        .cell(r.coalesced_ratio, 2)
+        .cell(r.stream_hit_rate, 2)
+        .cell(passes_equal);
+  };
+  add_row("file", "block-at-a-time", fbase, 1.0);
+  add_row("file", "extents", fext, file_speedup);
+  add_row("memory+stream", "block-at-a-time", mbase, 1.0);
+  add_row("memory+stream", "extents", mext, mem_speedup);
+  t.print(std::cout);
+
+  std::cout
+      << "\nExpected shape: the baseline issues one pread/pwrite (or one "
+         "simulated positioning charge) per block and interleaves "
+         "the four tenants block-by-block on every disk; the extent layer "
+         "gives each run physically contiguous spans and moves them with "
+         "one syscall / one seek per extent. Paper accounting is pinned: "
+         "same ops, same blocks, same passes — only calls shrink.\n\n";
+
+  JsonWriter jw;
+  jw.begin_obj();
+  jw.key("m").value(mem);
+  jw.key("rpb").value(rpb);
+  jw.key("disks").value(u64{disks});
+  jw.key("workers").value(u64{workers});
+  jw.key("jobs").value(num_jobs);
+  jw.key("n_per_job").value(n_mult * mem);
+  auto arm_json = [&](const char* key, const ArmResult& r, double speedup) {
+    jw.key(key).begin_obj();
+    jw.key("makespan_s").value(r.makespan_s);
+    jw.key("speedup").value(speedup);
+    jw.key("blocks").value(r.blocks);
+    jw.key("calls").value(r.calls);
+    jw.key("coalesced_ratio").value(r.coalesced_ratio);
+    jw.key("stream_hit_rate").value(r.stream_hit_rate);
+    jw.end_obj();
+  };
+  arm_json("file_baseline", fbase, 1.0);
+  arm_json("file_extents", fext, file_speedup);
+  arm_json("memory_baseline", mbase, 1.0);
+  arm_json("memory_extents", mext, mem_speedup);
+  jw.key("passes_equal").value(passes_equal);
+  jw.key("blocks_equal").value(blocks_equal);
+  jw.key("gate").value(gate);
+  jw.end_obj();
+  if (!json_out.empty()) {
+    json_file_update(json_out, "e17_extent_io", jw.str());
+    std::cout << "wrote section e17_extent_io -> " << json_out << "\n";
+  }
+
+  PDM_CHECK(passes_equal, "E17: extent path changed a job's pass count");
+  PDM_CHECK(blocks_equal, "E17: extent path changed IoStats block counts");
+  PDM_CHECK(fext.coalesced_ratio > 1.5,
+            "E17: file arm did not coalesce (ratio <= 1.5)");
+  std::cout << "stream hit rate (1 shard, 4 tenants): "
+            << fmt_double(mbase.stream_hit_rate, 3) << " -> "
+            << fmt_double(mext.stream_hit_rate, 3) << "\n";
+  PDM_CHECK(mext.stream_hit_rate > mbase.stream_hit_rate,
+            "E17: extents did not improve the StreamModel hit rate");
+  std::cout << "extent gate (file backend, " << workers
+            << " concurrent jobs): " << fmt_double(file_speedup, 2)
+            << "x, need >= " << gate << "x: "
+            << (gate <= 0 || file_speedup >= gate ? "PASS" : "FAIL") << "\n";
+  PDM_CHECK(gate <= 0 || file_speedup >= gate,
+            "E17 gate failed: extent wall-clock speedup below threshold");
+  return 0;
+}

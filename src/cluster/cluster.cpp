@@ -5,6 +5,7 @@ namespace pdm {
 Cluster::Cluster(BackendFactory make_backend, ClusterConfig cfg)
     : router_(cfg.shards, cfg.policy, cfg.router_seed),
       jobs_per_shard_(cfg.shards, 0) {
+  router_.set_spill_promote_after(cfg.spill_promote_after);
   PDM_CHECK(cfg.shards > 0, "Cluster needs at least one shard");
   PDM_CHECK(make_backend != nullptr, "Cluster needs a backend factory");
   PDM_CHECK(cfg.shard_configs.empty() || cfg.shard_configs.size() == cfg.shards,
@@ -28,20 +29,29 @@ std::vector<ShardLoad> Cluster::shard_loads() const {
   return loads;
 }
 
-u32 Cluster::place_locked(const SortJobSpec& spec, usize record_bytes,
+u32 Cluster::place_locked(const SortJobSpec& spec, usize record_bytes, u64 n,
                           std::span<const ShardLoad> loads) {
+  const bool was_pinned = router_.pinned_shard(spec.locality_key).has_value();
   const u32 preferred = router_.place(spec, loads);
   auto fits = [&](u32 i) {
-    return shards_[i]->admission_carve(spec, record_bytes) <=
+    return shards_[i]->admission_carve(spec, record_bytes, n) <=
            shards_[i]->budget().limit();
   };
-  if (fits(preferred)) return preferred;
+  if (fits(preferred)) {
+    // A fit on the tenant's *policy-preferred* shard ends any spill
+    // streak; a fit on its pinned spill target keeps the pin sticky.
+    if (!was_pinned) router_.note_preferred_ok(spec.locality_key);
+    return preferred;
+  }
   // Overflow spill: the preferred shard would reject this job outright
   // (its carve exceeds the whole shard budget). Retry on the least-loaded
-  // shard that can admit it before letting the rejection stand.
+  // shard that can admit it before letting the rejection stand; after
+  // spill_promote_after consecutive spills the router pins the tenant to
+  // its spill target and stops re-scanning (sticky spill-back).
   const u32 alt = router_.least_loaded_where(loads, preferred, fits);
   if (alt < shards_.size()) {
     ++spilled_;
+    router_.note_spill(spec.locality_key, alt);
     return alt;
   }
   // No shard fits: submit to the preferred shard anyway so the tenant

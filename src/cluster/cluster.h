@@ -50,6 +50,13 @@ struct ClusterConfig {
 
   RoutePolicy policy = RoutePolicy::kLeastLoaded;
   u64 router_seed = 1;
+
+  /// Sticky spill-back: after this many consecutive overflow spills of one
+  /// locality key, the router pins the key to its latest spill target
+  /// instead of re-scanning every submission (0 disables); the target
+  /// becomes the tenant's new preferred shard until it, too, stops
+  /// fitting (which re-pins on the next spill).
+  u32 spill_promote_after = 3;
 };
 
 class Cluster {
@@ -75,7 +82,7 @@ class Cluster {
     u32 shard = 0;
     {
       std::lock_guard g(mu_);
-      shard = place_locked(spec, sizeof(R), loads);
+      shard = place_locked(spec, sizeof(R), data.size(), loads);
     }
     const JobId local = shards_[shard]->submit<R>(
         std::move(spec), std::move(data), cmp, std::move(on_complete));
@@ -124,7 +131,7 @@ class Cluster {
   };
 
   std::vector<ShardLoad> shard_loads() const;
-  u32 place_locked(const SortJobSpec& spec, usize record_bytes,
+  u32 place_locked(const SortJobSpec& spec, usize record_bytes, u64 n,
                    std::span<const ShardLoad> loads);
   Placement placement_of(JobId id) const;
   /// Every kPruneInterval submissions, drops mappings whose shard record

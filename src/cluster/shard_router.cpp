@@ -28,11 +28,35 @@ u32 ShardRouter::round_robin() {
   return static_cast<u32>(rr_++ % shards_);
 }
 
+void ShardRouter::note_spill(const std::string& key, u32 to_shard) {
+  if (spill_promote_after_ == 0 || key.empty()) return;
+  if (sticky_.size() >= kStickyCap && !sticky_.contains(key)) {
+    // Bounded tenant tracking: drop an arbitrary entry (re-promotion only
+    // costs the evicted tenant spill_promote_after more scans).
+    sticky_.erase(sticky_.begin());
+  }
+  Sticky& s = sticky_[key];
+  s.target = to_shard;
+  if (!s.pinned && ++s.streak >= spill_promote_after_) s.pinned = true;
+}
+
+void ShardRouter::note_preferred_ok(const std::string& key) {
+  if (key.empty()) return;
+  sticky_.erase(key);
+}
+
+std::optional<u32> ShardRouter::pinned_shard(const std::string& key) const {
+  auto it = sticky_.find(key);
+  if (it == sticky_.end() || !it->second.pinned) return std::nullopt;
+  return it->second.target;
+}
+
 u32 ShardRouter::place(const SortJobSpec& spec,
                        std::span<const ShardLoad> loads) {
   PDM_CHECK(loads.size() == shards_,
             "router: loads snapshot does not match the shard count");
   if (shards_ == 1) return 0;
+  if (auto pinned = pinned_shard(spec.locality_key)) return *pinned;
   switch (policy_) {
     case RoutePolicy::kRoundRobin:
       return round_robin();

@@ -17,11 +17,26 @@
 //    backends) page-cache pages are still warm. Jobs without a key fall
 //    back to round-robin.
 //
-// The router is a pure placement function over a loads snapshot plus a
-// little mixing state (round-robin cursor, RNG); it is NOT thread-safe —
-// the owning Cluster serializes placement under its own mutex.
+// Sticky spill-back: a keyed tenant whose preferred shard keeps refusing
+// its jobs (admission carve above the shard budget) spills on every
+// submission — a full load scan each time, landing wherever happens to be
+// lightest. After `spill_promote_after` consecutive spills of one key the
+// router pins that key to its latest spill target: subsequent placements
+// go there directly (any policy), no re-scan — the spill target becomes
+// the tenant's new preferred home. If the pinned shard later stops
+// fitting, the next spill re-pins to the new target. A streak that has
+// not yet promoted resets when the tenant fits its policy-preferred
+// shard. The owning Cluster reports spills/successes via note_spill()/
+// note_preferred_ok().
+//
+// The router is a placement function over a loads snapshot plus a little
+// mixing state (round-robin cursor, RNG, sticky map); it is NOT
+// thread-safe — the owning Cluster serializes placement under its own
+// mutex.
 #pragma once
 
+#include <map>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -61,8 +76,26 @@ class ShardRouter {
   RoutePolicy policy() const noexcept { return policy_; }
 
   /// Preferred shard for `spec` given the current loads (loads.size() must
-  /// equal the shard count).
+  /// equal the shard count). A key pinned by sticky spill-back overrides
+  /// the policy.
   u32 place(const SortJobSpec& spec, std::span<const ShardLoad> loads);
+
+  /// Consecutive spills of one locality key before its placement sticks
+  /// to the spill target; 0 (default) disables sticky spill-back.
+  void set_spill_promote_after(u32 n) { spill_promote_after_ = n; }
+  u32 spill_promote_after() const noexcept { return spill_promote_after_; }
+
+  /// Records that a keyed job spilled from its preferred shard to
+  /// `to_shard`; promotes the key after spill_promote_after consecutive
+  /// spills. Unkeyed jobs (empty key) are ignored.
+  void note_spill(const std::string& key, u32 to_shard);
+
+  /// Records a successful placement on the key's policy-preferred shard:
+  /// resets its spill streak and clears any pin.
+  void note_preferred_ok(const std::string& key);
+
+  /// The shard `key` is currently pinned to, if any.
+  std::optional<u32> pinned_shard(const std::string& key) const;
 
   /// Lowest-score shard for which `admissible(shard)` holds, excluding
   /// `exclude` (pass >= shard count to exclude nothing). Returns the shard
@@ -82,12 +115,21 @@ class ShardRouter {
   }
 
  private:
+  struct Sticky {
+    u32 streak = 0;       // consecutive spills
+    u32 target = 0;       // latest spill destination
+    bool pinned = false;  // streak reached spill_promote_after
+  };
+
   u32 round_robin();
 
   usize shards_;
   RoutePolicy policy_;
   u64 rr_ = 0;
   Rng rng_;
+  u32 spill_promote_after_ = 0;
+  std::map<std::string, Sticky> sticky_;
+  static constexpr usize kStickyCap = 4096;  // bound on tracked tenants
 };
 
 }  // namespace pdm

@@ -109,10 +109,12 @@ IoTicket AsyncIoScheduler::read_async(std::span<const ReadReq> reqs,
     if (rounds_out != nullptr) *rounds_out = rounds;
     return 0;
   }
-  // Charge first, on the submitting thread: identical stats to sync.
+  // Charge first, on the submitting thread: identical stats to sync. The
+  // coalesced form of the batch is what the workers execute — one backend
+  // call per extent, same per-disk order as the raw requests.
   const u64 rounds = sync_->account_read(reqs);
   if (rounds_out != nullptr) *rounds_out = rounds;
-  return submit<ReadReq>(reqs);
+  return submit<ReadReq>(sync_->last_coalesced_reads());
 }
 
 IoTicket AsyncIoScheduler::write_async(std::span<const WriteReq> reqs,
@@ -124,7 +126,7 @@ IoTicket AsyncIoScheduler::write_async(std::span<const WriteReq> reqs,
   }
   const u64 rounds = sync_->account_write(reqs);
   if (rounds_out != nullptr) *rounds_out = rounds;
-  return submit<WriteReq>(reqs);
+  return submit<WriteReq>(sync_->last_coalesced_writes());
 }
 
 u64 AsyncIoScheduler::read(std::span<const ReadReq> reqs) {
@@ -188,6 +190,8 @@ void AsyncIoScheduler::worker_loop() {
       // One backend call per request: a single-request batch is a legal
       // "parallel op slice" (<= 1 request per disk trivially), and it lets
       // the backend charge its simulated per-op latency per disk visit.
+      // Requests here are already coalesced, so one call moves a whole
+      // extent (one syscall / one StreamModel seek + count transfers).
       if (job.is_write) {
         for (const auto& w : job.writes) {
           sync_->backend().write_batch(std::span<const WriteReq>(&w, 1));

@@ -5,6 +5,13 @@
 // block per disk. All higher layers (runs, matrices, sorters) reduce their
 // access patterns to vectors of block requests; the IoScheduler groups those
 // into parallel operations and charges them to the statistics.
+//
+// Requests are extent-capable: a request may span `count` physically
+// contiguous blocks of one disk (one backend call — one pread/pwrite or
+// preadv/pwritev — moves the whole span), with the per-block memory
+// buffers laid out at a uniform byte stride. The paper's parallel-op
+// accounting is unaffected: a span of c blocks on one disk still counts as
+// c block-transfers on that disk (see IoScheduler).
 #pragma once
 
 #include <cstddef>
@@ -22,16 +29,46 @@ struct BlockRef {
   friend bool operator==(const BlockRef&, const BlockRef&) = default;
 };
 
-/// A single-block read into caller-owned memory (block_bytes bytes).
+/// A span of physically contiguous blocks on one disk, the unit the extent
+/// allocator hands out and the free list recycles.
+struct Extent {
+  u32 disk = 0;
+  u64 index = 0;  // first block
+  u64 count = 0;  // blocks [index, index + count)
+
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+/// A read of `count` contiguous blocks starting at `where` into
+/// caller-owned memory: block k lands at dst + k * stride bytes, where
+/// stride is `dst_stride_bytes` (or block_bytes when 0, i.e. a contiguous
+/// buffer). Single-block requests leave count/stride at their defaults.
 struct ReadReq {
   BlockRef where;
   std::byte* dst = nullptr;
+  u64 count = 1;
+  i64 dst_stride_bytes = 0;  // 0 = contiguous (block_bytes)
+
+  /// The effective buffer stride: the single place the "0 means
+  /// contiguous" convention is interpreted.
+  i64 stride_or(usize block_bytes) const noexcept {
+    return dst_stride_bytes != 0 ? dst_stride_bytes
+                                 : static_cast<i64>(block_bytes);
+  }
 };
 
-/// A single-block write from caller-owned memory (block_bytes bytes).
+/// A write of `count` contiguous blocks from caller-owned memory; block k
+/// is taken from src + k * stride bytes (stride as in ReadReq).
 struct WriteReq {
   BlockRef where;
   const std::byte* src = nullptr;
+  u64 count = 1;
+  i64 src_stride_bytes = 0;  // 0 = contiguous (block_bytes)
+
+  i64 stride_or(usize block_bytes) const noexcept {
+    return src_stride_bytes != 0 ? src_stride_bytes
+                                 : static_cast<i64>(block_bytes);
+  }
 };
 
 }  // namespace pdm

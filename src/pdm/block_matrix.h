@@ -25,7 +25,7 @@ class BlockMatrix {
     for (u64 r = 0; r < block_rows; ++r) {
       for (u64 c = 0; c < block_cols; ++c) {
         const u32 disk = static_cast<u32>((r + c) % ctx.D());
-        cells_[idx(r, c)] = ctx.alloc().alloc(disk);
+        cells_[idx(r, c)] = ctx.alloc_block(disk);
       }
     }
   }

@@ -1,24 +1,130 @@
 #include "pdm/disk_allocator.h"
 
+#include <algorithm>
+
 namespace pdm {
 
 DiskAllocator::DiskAllocator(u32 num_disks)
-    : num_disks_(num_disks), next_(num_disks, 0) {
+    : num_disks_(num_disks), next_(num_disks, 0), free_(num_disks) {
   PDM_CHECK(num_disks > 0, "need at least one disk");
 }
 
-BlockRef DiskAllocator::alloc(u32 disk) {
-  PDM_CHECK(disk < num_disks_, "alloc: disk out of range");
-  std::lock_guard g(mu_);
-  return BlockRef{disk, next_[disk]++};
+Extent DiskAllocator::take_span_locked(u32 disk, u64 want) {
+  auto& fl = free_[disk];
+  // Bounded first-fit: tail fragments that can never satisfy a request
+  // must not make allocation O(free-list length) — past the cap we bump
+  // the cursor instead (the fragments stay reusable for smaller wants).
+  usize scanned = 0;
+  for (auto it = fl.begin(); it != fl.end() && scanned < kMaxFreeScan;
+       ++it, ++scanned) {
+    if (it->second >= want) {
+      Extent e{disk, it->first, want};
+      const u64 rest = it->second - want;
+      const u64 rest_at = it->first + want;
+      fl.erase(it);
+      if (rest > 0) fl.emplace(rest_at, rest);
+      return e;
+    }
+  }
+  Extent e{disk, next_[disk], want};
+  next_[disk] += want;
+  return e;
+}
+
+void DiskAllocator::insert_free_locked(u32 disk, u64 index, u64 count) {
+  if (count == 0) return;
+  auto& fl = free_[disk];
+  auto next = fl.lower_bound(index);
+  // Merge with the predecessor span if it ends exactly at `index`.
+  if (next != fl.begin()) {
+    auto prev = std::prev(next);
+    PDM_ASSERT(prev->first + prev->second <= index, "double free of extent");
+    if (prev->first + prev->second == index) {
+      index = prev->first;
+      count += prev->second;
+      fl.erase(prev);
+    }
+  }
+  // Merge with the successor span if it starts exactly at the new end.
+  if (next != fl.end()) {
+    PDM_ASSERT(index + count <= next->first, "double free of extent");
+    if (next->first == index + count) {
+      count += next->second;
+      fl.erase(next);
+    }
+  }
+  fl.emplace(index, count);
+}
+
+BlockRef DiskAllocator::alloc(u32 disk, u32 region) {
+  const Extent e = alloc_extent(disk, 1, region);
+  return BlockRef{e.disk, e.index};
 }
 
 BlockRef DiskAllocator::alloc_contiguous(u32 disk, u64 count) {
+  const Extent e = alloc_extent(disk, count, 0);
+  return BlockRef{e.disk, e.index};
+}
+
+Extent DiskAllocator::alloc_extent(u32 disk, u64 count, u32 region) {
   PDM_CHECK(disk < num_disks_, "alloc: disk out of range");
+  PDM_CHECK(count > 0, "alloc: empty extent");
   std::lock_guard g(mu_);
-  BlockRef first{disk, next_[disk]};
-  next_[disk] += count;
-  return first;
+  if (region == 0) {
+    default_live_ += count;
+    return take_span_locked(disk, count);
+  }
+  auto it = regions_.find(region);
+  PDM_CHECK(it != regions_.end(), "alloc: unknown or closed region");
+  Region& r = it->second;
+  Extent& arena = r.arena[disk];
+  if (arena.count < count) {
+    // Refill: recycle the old tail (too small for this request), then
+    // carve a fresh arena chunk big enough for it.
+    insert_free_locked(disk, arena.index, arena.count);
+    arena = take_span_locked(disk, std::max(count, r.arena_blocks));
+  }
+  Extent e{disk, arena.index, count};
+  arena.index += count;
+  arena.count -= count;
+  r.live += count;
+  return e;
+}
+
+void DiskAllocator::free_extent(const Extent& e, u32 region) {
+  if (e.count == 0) return;
+  PDM_CHECK(e.disk < num_disks_, "free: disk out of range");
+  std::lock_guard g(mu_);
+  insert_free_locked(e.disk, e.index, e.count);
+  if (region == 0) {
+    PDM_ASSERT(default_live_ >= e.count, "free: more freed than allocated");
+    default_live_ -= e.count;
+  } else if (auto it = regions_.find(region); it != regions_.end()) {
+    PDM_ASSERT(it->second.live >= e.count,
+               "free: more freed than the region allocated");
+    it->second.live -= e.count;
+  }
+}
+
+u32 DiskAllocator::open_region(u64 arena_blocks) {
+  std::lock_guard g(mu_);
+  const u32 id = next_region_++;
+  Region r;
+  if (arena_blocks > 0) r.arena_blocks = arena_blocks;
+  r.arena.assign(num_disks_, Extent{});
+  for (u32 d = 0; d < num_disks_; ++d) r.arena[d].disk = d;
+  regions_.emplace(id, std::move(r));
+  return id;
+}
+
+void DiskAllocator::close_region(u32 region) {
+  std::lock_guard g(mu_);
+  auto it = regions_.find(region);
+  if (it == regions_.end()) return;
+  for (const Extent& arena : it->second.arena) {
+    insert_free_locked(arena.disk, arena.index, arena.count);
+  }
+  regions_.erase(it);
 }
 
 u64 DiskAllocator::used(u32 disk) const {
@@ -34,9 +140,34 @@ u64 DiskAllocator::total_used() const {
   return t;
 }
 
+u64 DiskAllocator::used_by(u32 region) const {
+  std::lock_guard g(mu_);
+  if (region == 0) return default_live_;
+  auto it = regions_.find(region);
+  return it == regions_.end() ? 0 : it->second.live;
+}
+
+u64 DiskAllocator::free_blocks(u32 disk) const {
+  PDM_CHECK(disk < num_disks_, "free_blocks: disk out of range");
+  std::lock_guard g(mu_);
+  u64 t = 0;
+  for (const auto& [idx, cnt] : free_[disk]) t += cnt;
+  return t;
+}
+
+usize DiskAllocator::open_regions() const {
+  std::lock_guard g(mu_);
+  return regions_.size();
+}
+
 void DiskAllocator::reset() {
   std::lock_guard g(mu_);
+  PDM_ASSERT(regions_.empty(),
+             "DiskAllocator::reset with open regions: live job contexts "
+             "still hold reservations");
   for (auto& n : next_) n = 0;
+  for (auto& fl : free_) fl.clear();
+  default_live_ = 0;
 }
 
 }  // namespace pdm

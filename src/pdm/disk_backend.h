@@ -3,7 +3,11 @@
 // Implementations: MemoryDiskBackend (default; per-disk byte arrays) and
 // FileDiskBackend (one OS file per disk with I/O issued concurrently from a
 // thread pool). The IoScheduler guarantees that each batch passed here
-// contains at most one request per disk — i.e. a batch IS one parallel I/O.
+// contains at most one request per disk — i.e. a batch IS one parallel
+// I/O. A request may span `count` physically contiguous blocks (an
+// extent): backends execute it as one transfer — a single syscall on the
+// file backend, one positioning charge plus `count` sequential transfers
+// under the memory backend's StreamModel.
 #pragma once
 
 #include <span>

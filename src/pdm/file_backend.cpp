@@ -1,6 +1,7 @@
 #include "pdm/file_backend.h"
 
 #include <fcntl.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -13,6 +14,37 @@
 namespace pdm {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// One iovec per block, capped by the OS vector limit; callers chunk.
+constexpr usize kIovBatch = 512;
+
+// pread/pwrite the full range, resuming after short transfers (the
+// kernel caps a single call at MAX_RW_COUNT ≈ 2 GiB, which a fully
+// coalesced extent of large blocks can exceed; regular files otherwise
+// only transfer short at EOF or on error).
+void pread_full(int fd, std::byte* dst, usize len, off_t off) {
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, dst, len, off);
+    PDM_CHECK(n > 0, "pread short/failed");
+    dst += n;
+    len -= static_cast<usize>(n);
+    off += n;
+  }
+}
+
+void pwrite_full(int fd, const std::byte* src, usize len, off_t off) {
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, src, len, off);
+    PDM_CHECK(n > 0, "pwrite short/failed");
+    src += n;
+    len -= static_cast<usize>(n);
+    off += n;
+  }
+}
+
+}  // namespace
 
 FileDiskBackend::FileDiskBackend(u32 num_disks, usize block_bytes,
                                  std::string dir, bool keep_files)
@@ -46,47 +78,105 @@ FileDiskBackend::~FileDiskBackend() {
   }
 }
 
+void FileDiskBackend::exec_read(const ReadReq& r) const {
+  const int fd = fds_.at(r.where.disk);
+  const auto bb = static_cast<ssize_t>(block_bytes_);
+  const i64 stride = r.stride_or(block_bytes_);
+  if (r.count == 1 || stride == static_cast<i64>(block_bytes_)) {
+    // Contiguous buffer (or a single block): one pread moves the extent.
+    const auto off =
+        static_cast<off_t>(r.where.index) * static_cast<off_t>(block_bytes_);
+    pread_full(fd, r.dst, static_cast<usize>(r.count) * block_bytes_, off);
+    return;
+  }
+  // Strided scatter (e.g. a striped run reading into an interleaved load
+  // buffer): one preadv per iovec chunk gathers the extent. A short
+  // vectored transfer (kernel per-call byte cap) finishes block-by-block.
+  struct iovec iov[kIovBatch];
+  for (u64 b0 = 0; b0 < r.count; b0 += kIovBatch) {
+    const usize cnt = static_cast<usize>(std::min<u64>(kIovBatch, r.count - b0));
+    for (usize k = 0; k < cnt; ++k) {
+      iov[k].iov_base = r.dst + static_cast<i64>(b0 + k) * stride;
+      iov[k].iov_len = block_bytes_;
+    }
+    const auto off = static_cast<off_t>(r.where.index + b0) *
+                     static_cast<off_t>(block_bytes_);
+    const ssize_t n = ::preadv(fd, iov, static_cast<int>(cnt), off);
+    PDM_CHECK(n > 0, "preadv short/failed");
+    usize k = static_cast<usize>(n / bb);
+    if (const usize part = static_cast<usize>(n % bb); part > 0) {
+      pread_full(fd, r.dst + static_cast<i64>(b0 + k) * stride + part,
+                 block_bytes_ - part,
+                 off + static_cast<off_t>(k) * bb + static_cast<off_t>(part));
+      ++k;
+    }
+    for (; k < cnt; ++k) {
+      pread_full(fd, r.dst + static_cast<i64>(b0 + k) * stride, block_bytes_,
+                 off + static_cast<off_t>(k) * bb);
+    }
+  }
+}
+
+void FileDiskBackend::exec_write(const WriteReq& w) const {
+  const int fd = fds_.at(w.where.disk);
+  const auto bb = static_cast<ssize_t>(block_bytes_);
+  const i64 stride = w.stride_or(block_bytes_);
+  if (w.count == 1 || stride == static_cast<i64>(block_bytes_)) {
+    const auto off =
+        static_cast<off_t>(w.where.index) * static_cast<off_t>(block_bytes_);
+    pwrite_full(fd, w.src, static_cast<usize>(w.count) * block_bytes_, off);
+    return;
+  }
+  struct iovec iov[kIovBatch];
+  for (u64 b0 = 0; b0 < w.count; b0 += kIovBatch) {
+    const usize cnt = static_cast<usize>(std::min<u64>(kIovBatch, w.count - b0));
+    for (usize k = 0; k < cnt; ++k) {
+      iov[k].iov_base =
+          const_cast<std::byte*>(w.src) + static_cast<i64>(b0 + k) * stride;
+      iov[k].iov_len = block_bytes_;
+    }
+    const auto off = static_cast<off_t>(w.where.index + b0) *
+                     static_cast<off_t>(block_bytes_);
+    const ssize_t n = ::pwritev(fd, iov, static_cast<int>(cnt), off);
+    PDM_CHECK(n > 0, "pwritev short/failed");
+    usize k = static_cast<usize>(n / bb);
+    if (const usize part = static_cast<usize>(n % bb); part > 0) {
+      pwrite_full(fd, w.src + static_cast<i64>(b0 + k) * stride + part,
+                  block_bytes_ - part,
+                  off + static_cast<off_t>(k) * bb + static_cast<off_t>(part));
+      ++k;
+    }
+    for (; k < cnt; ++k) {
+      pwrite_full(fd, w.src + static_cast<i64>(b0 + k) * stride, block_bytes_,
+                  off + static_cast<off_t>(k) * bb);
+    }
+  }
+}
+
 void FileDiskBackend::read_batch(std::span<const ReadReq> reqs) {
   auto& pool = ThreadPool::global();
   if (reqs.size() <= 1) {
-    for (const auto& r : reqs) {
-      const auto off =
-          static_cast<off_t>(r.where.index) * static_cast<off_t>(block_bytes_);
-      ssize_t n = ::pread(fds_.at(r.where.disk), r.dst, block_bytes_, off);
-      PDM_CHECK(n == static_cast<ssize_t>(block_bytes_), "pread short/failed");
-    }
+    for (const auto& r : reqs) exec_read(r);
     return;
   }
   pool.parallel_for(0, reqs.size(), [&](usize lo, usize hi) {
-    for (usize i = lo; i < hi; ++i) {
-      const auto& r = reqs[i];
-      const auto off =
-          static_cast<off_t>(r.where.index) * static_cast<off_t>(block_bytes_);
-      ssize_t n = ::pread(fds_.at(r.where.disk), r.dst, block_bytes_, off);
-      PDM_CHECK(n == static_cast<ssize_t>(block_bytes_), "pread short/failed");
-    }
+    for (usize i = lo; i < hi; ++i) exec_read(reqs[i]);
   });
 }
 
 void FileDiskBackend::write_batch(std::span<const WriteReq> reqs) {
   auto& pool = ThreadPool::global();
-  auto do_write = [&](const WriteReq& w) {
-    const auto off =
-        static_cast<off_t>(w.where.index) * static_cast<off_t>(block_bytes_);
-    ssize_t n = ::pwrite(fds_.at(w.where.disk), w.src, block_bytes_, off);
-    PDM_CHECK(n == static_cast<ssize_t>(block_bytes_), "pwrite short/failed");
-  };
   if (reqs.size() <= 1) {
-    for (const auto& w : reqs) do_write(w);
+    for (const auto& w : reqs) exec_write(w);
   } else {
     pool.parallel_for(0, reqs.size(), [&](usize lo, usize hi) {
-      for (usize i = lo; i < hi; ++i) do_write(reqs[i]);
+      for (usize i = lo; i < hi; ++i) exec_write(reqs[i]);
     });
   }
   std::lock_guard g(marks_mu_);
   for (const auto& w : reqs) {
     blocks_written_[w.where.disk] =
-        std::max(blocks_written_[w.where.disk], w.where.index + 1);
+        std::max(blocks_written_[w.where.disk], w.where.index + w.count);
   }
 }
 

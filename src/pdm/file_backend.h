@@ -1,6 +1,9 @@
 // File-backed disk array: one file per simulated disk, I/O issued with
 // pread/pwrite concurrently from the global thread pool so a parallel I/O
-// operation really does hit all D "disks" at once.
+// operation really does hit all D "disks" at once. Extent requests
+// (count > 1) execute as a single pread/pwrite when the buffer is
+// contiguous and as preadv/pwritev scatter/gather when the per-block
+// buffers sit at a uniform stride — one syscall per extent either way.
 #pragma once
 
 #include <mutex>
@@ -31,6 +34,9 @@ class FileDiskBackend final : public DiskBackend {
   u64 disk_blocks(u32 disk) const override;
 
  private:
+  void exec_read(const ReadReq& r) const;
+  void exec_write(const WriteReq& w) const;
+
   u32 num_disks_;
   usize block_bytes_;
   std::string dir_;

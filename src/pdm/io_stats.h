@@ -30,9 +30,17 @@ struct IoStats {
   u64 write_ops = 0;       // parallel write operations
   u64 blocks_read = 0;
   u64 blocks_written = 0;
+  // Physical-transfer accounting: backend requests actually issued after
+  // extent coalescing — one per syscall on the file backend. The paper's
+  // op counts above are block-granular and unaffected by coalescing, so
+  // pass counts stay exact while calls shrink as transfers grow.
+  u64 read_calls = 0;
+  u64 write_calls = 0;
   double sim_time_s = 0.0;  // simulated elapsed time under CostModel
   std::vector<u64> disk_reads;   // blocks read per disk
   std::vector<u64> disk_writes;  // blocks written per disk
+  std::vector<u64> disk_read_calls;   // coalesced requests per disk
+  std::vector<u64> disk_write_calls;
 
   /// FNV-1a hash of the full I/O schedule (disk, index, r/w per request in
   /// order). Two runs of an oblivious algorithm on same-sized inputs must
@@ -43,6 +51,8 @@ struct IoStats {
     *this = IoStats{};
     disk_reads.assign(num_disks, 0);
     disk_writes.assign(num_disks, 0);
+    disk_read_calls.assign(num_disks, 0);
+    disk_write_calls.assign(num_disks, 0);
   }
 
   void hash_request(u32 disk, u64 index, bool is_write) {
@@ -84,6 +94,28 @@ struct IoStats {
                : static_cast<double>(total_blocks()) /
                      static_cast<double>(total_ops());
   }
+
+  u64 total_calls() const { return read_calls + write_calls; }
+
+  /// Mean blocks moved per backend request (>= 1): how well the extent
+  /// layer coalesced the logical block stream into physical transfers.
+  /// 1.0 = block-at-a-time; extent_blocks is the ceiling.
+  double coalesced_ratio() const {
+    return total_calls() == 0
+               ? 0.0
+               : static_cast<double>(total_blocks()) /
+                     static_cast<double>(total_calls());
+  }
+
+  /// Per-disk coalescing ratio (0 when the disk saw no requests).
+  double coalesced_ratio(u32 disk) const {
+    if (disk >= disk_read_calls.size()) return 0.0;
+    const u64 calls = disk_read_calls[disk] + disk_write_calls[disk];
+    const u64 blocks = disk_reads[disk] + disk_writes[disk];
+    return calls == 0 ? 0.0
+                      : static_cast<double>(blocks) /
+                            static_cast<double>(calls);
+  }
 };
 
 /// Difference of two snapshots (for per-phase reporting). Per-disk counts
@@ -94,6 +126,8 @@ inline IoStats delta(const IoStats& after, const IoStats& before) {
   d.write_ops = after.write_ops - before.write_ops;
   d.blocks_read = after.blocks_read - before.blocks_read;
   d.blocks_written = after.blocks_written - before.blocks_written;
+  d.read_calls = after.read_calls - before.read_calls;
+  d.write_calls = after.write_calls - before.write_calls;
   d.sim_time_s = after.sim_time_s - before.sim_time_s;
   if (after.disk_reads.size() == before.disk_reads.size()) {
     d.disk_reads.resize(after.disk_reads.size());
@@ -101,6 +135,16 @@ inline IoStats delta(const IoStats& after, const IoStats& before) {
     for (usize i = 0; i < after.disk_reads.size(); ++i) {
       d.disk_reads[i] = after.disk_reads[i] - before.disk_reads[i];
       d.disk_writes[i] = after.disk_writes[i] - before.disk_writes[i];
+    }
+  }
+  if (after.disk_read_calls.size() == before.disk_read_calls.size()) {
+    d.disk_read_calls.resize(after.disk_read_calls.size());
+    d.disk_write_calls.resize(after.disk_write_calls.size());
+    for (usize i = 0; i < after.disk_read_calls.size(); ++i) {
+      d.disk_read_calls[i] =
+          after.disk_read_calls[i] - before.disk_read_calls[i];
+      d.disk_write_calls[i] =
+          after.disk_write_calls[i] - before.disk_write_calls[i];
     }
   }
   return d;

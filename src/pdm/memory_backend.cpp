@@ -29,7 +29,7 @@ i64 MemoryDiskBackend::now_us() const {
       .count();
 }
 
-i64 MemoryDiskBackend::charge_stream_locked(u32 d, u64 index) {
+i64 MemoryDiskBackend::charge_stream_locked(u32 d, u64 index, u64 count) {
   DiskSim& sim = sims_[d];
   auto& lru = sim.lru;
   bool hit = false;
@@ -44,13 +44,19 @@ i64 MemoryDiskBackend::charge_stream_locked(u32 d, u64 index) {
     }
   }
   if (!hit && lru.size() >= stream_.streams) lru.pop_back();
-  lru.insert(lru.begin(), index);
+  // The stream head ends at the last block of the extent: a follow-up
+  // request continuing the span is a hit.
+  lru.insert(lru.begin(), index + count - 1);
+  // One positioning decision per extent; blocks 2..count stream
+  // sequentially no matter how thrashed the cache is.
   if (hit) {
-    ++sim.hits;
+    sim.hits += count;
   } else {
     ++sim.misses;
+    sim.hits += count - 1;
   }
-  const i64 dur = static_cast<i64>(hit ? stream_.seq_us : stream_.seek_us);
+  const i64 dur = static_cast<i64>(
+      (hit ? stream_.seq_us : stream_.seek_us) + (count - 1) * stream_.seq_us);
   sim.busy_until_us = std::max(sim.busy_until_us, now_us()) + dur;
   return sim.busy_until_us;
 }
@@ -77,17 +83,22 @@ void MemoryDiskBackend::read_batch(std::span<const ReadReq> reqs) {
   i64 wait_until = 0;
   for (const auto& r : reqs) {
     PDM_CHECK(r.where.disk < num_disks_, "read: disk out of range");
+    const i64 stride = r.stride_or(block_bytes_);
     std::lock_guard g(disk_mu_[r.where.disk]);
     const auto& d = disks_[r.where.disk];
-    const usize off = static_cast<usize>(r.where.index) * block_bytes_;
-    PDM_CHECK(off + block_bytes_ <= d.size(),
-              "read of unwritten block (disk " +
-                  std::to_string(r.where.disk) + ", block " +
-                  std::to_string(r.where.index) + ")");
-    std::memcpy(r.dst, d.data() + off, block_bytes_);
+    for (u64 b = 0; b < r.count; ++b) {
+      const usize off = static_cast<usize>(r.where.index + b) * block_bytes_;
+      PDM_CHECK(off + block_bytes_ <= d.size(),
+                "read of unwritten block (disk " +
+                    std::to_string(r.where.disk) + ", block " +
+                    std::to_string(r.where.index + b) + ")");
+      std::memcpy(r.dst + static_cast<i64>(b) * stride, d.data() + off,
+                  block_bytes_);
+    }
     if (occupancy) {
       wait_until = std::max(
-          wait_until, charge_stream_locked(r.where.disk, r.where.index));
+          wait_until,
+          charge_stream_locked(r.where.disk, r.where.index, r.count));
     }
   }
   if (occupancy) wait_until_us(wait_until);
@@ -99,14 +110,21 @@ void MemoryDiskBackend::write_batch(std::span<const WriteReq> reqs) {
   i64 wait_until = 0;
   for (const auto& w : reqs) {
     PDM_CHECK(w.where.disk < num_disks_, "write: disk out of range");
+    const i64 stride = w.stride_or(block_bytes_);
     std::lock_guard g(disk_mu_[w.where.disk]);
     auto& d = disks_[w.where.disk];
-    const usize off = static_cast<usize>(w.where.index) * block_bytes_;
-    if (off + block_bytes_ > d.size()) d.resize(off + block_bytes_);
-    std::memcpy(d.data() + off, w.src, block_bytes_);
+    const usize end =
+        static_cast<usize>(w.where.index + w.count) * block_bytes_;
+    if (end > d.size()) d.resize(end);
+    for (u64 b = 0; b < w.count; ++b) {
+      const usize off = static_cast<usize>(w.where.index + b) * block_bytes_;
+      std::memcpy(d.data() + off, w.src + static_cast<i64>(b) * stride,
+                  block_bytes_);
+    }
     if (occupancy) {
       wait_until = std::max(
-          wait_until, charge_stream_locked(w.where.disk, w.where.index));
+          wait_until,
+          charge_stream_locked(w.where.disk, w.where.index, w.count));
     }
   }
   if (occupancy) wait_until_us(wait_until);

@@ -18,7 +18,7 @@
 
 namespace pdm {
 
-/// Locality-dependent per-block service-time model. A real disk serves a
+/// Locality-dependent service-time model. A real disk serves a
 /// couple of sequential streams at full bandwidth — its cache is
 /// segmented for a read stream here, a write stream there — but cycling
 /// between more distant regions than that pays a positioning delay on
@@ -35,6 +35,13 @@ namespace pdm {
 /// and run at seek_us. This is the contention that cluster sharding
 /// removes (bench_e16); the flat set_simulated_latency_us model is
 /// work-conserving by design and cannot show it.
+///
+/// Extent requests are priced as one positioning decision plus `count`
+/// sequential transfers: the first block classifies against the stream
+/// cache (seq_us or seek_us), the remaining count-1 blocks are charged
+/// seq_us and counted as stream hits — so even under a thrashing cache,
+/// extent-sized transfers amortize the seek over the whole span. This is
+/// how the coalescing win shows up in the simulator (bench_e17).
 struct StreamModel {
   u64 seq_us = 0;         // per-block service time on a stream hit
   u64 seek_us = 0;        // per-block service time on a stream miss
@@ -86,10 +93,11 @@ class MemoryDiskBackend final : public DiskBackend {
   };
 
   void simulate_latency() const;
-  /// Classifies `index` against disk `d`'s stream cache and advances its
-  /// busy-until clock; returns the completion time. Caller holds the
-  /// disk's mutex.
-  i64 charge_stream_locked(u32 d, u64 index);
+  /// Classifies the extent [index, index+count) against disk `d`'s stream
+  /// cache (first block decides seek vs hit, the rest stream sequentially)
+  /// and advances its busy-until clock; returns the completion time.
+  /// Caller holds the disk's mutex.
+  i64 charge_stream_locked(u32 d, u64 index, u64 count);
   i64 now_us() const;
   void wait_until_us(i64 target) const;
 

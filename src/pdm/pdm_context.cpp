@@ -15,6 +15,7 @@ PdmContext::PdmContext(std::unique_ptr<DiskBackend> backend, CostModel cost,
       alloc_(own_alloc_.get()),
       rng_(seed) {
   sched_.attach_pipeline(&aio_);
+  region_ = alloc_->open_region();
 }
 
 PdmContext::PdmContext(std::shared_ptr<DiskBackend> backend,
@@ -32,6 +33,14 @@ PdmContext::PdmContext(std::shared_ptr<DiskBackend> backend,
             "shared allocator geometry does not match the backend");
   sched_.attach_pipeline(&aio_);
   if (totals != nullptr) sched_.attach_totals(totals);
+  region_ = alloc_->open_region();
+}
+
+PdmContext::~PdmContext() {
+  // The region's unconsumed arena tails go back to the shared free list;
+  // blocks this context's runs still hold stay allocated (an output run
+  // may be read after the job context is gone).
+  alloc_->close_region(region_);
 }
 
 std::unique_ptr<PdmContext> make_memory_context(u32 num_disks,

@@ -46,6 +46,9 @@ class PdmContext {
   PdmContext(const PdmContext&) = delete;
   PdmContext& operator=(const PdmContext&) = delete;
 
+  /// Closes this context's allocator region (recycling its arena tails).
+  ~PdmContext();
+
   u32 D() const noexcept { return backend_->num_disks(); }
   usize block_bytes() const noexcept { return backend_->block_bytes(); }
 
@@ -56,6 +59,24 @@ class PdmContext {
   MemoryBudget& budget() noexcept { return budget_; }
   Rng& rng() noexcept { return rng_; }
   DiskBackend& backend() noexcept { return *backend_; }
+
+  /// This context's allocator region: every run/matrix of this context
+  /// allocates inside it, so concurrent jobs' data occupy disjoint disk
+  /// regions instead of interleaving block-by-block.
+  u32 alloc_region() const noexcept { return region_; }
+
+  /// Blocks per allocation extent for this context's runs (the ceiling on
+  /// per-syscall coalescing). <= 1 restores legacy single-block bump
+  /// allocation in the shared default region — the block-interleaved
+  /// baseline the extent benches compare against.
+  usize extent_blocks() const noexcept { return extent_blocks_; }
+  void set_extent_blocks(usize blocks) { extent_blocks_ = blocks; }
+
+  /// Allocates one block on `disk` inside this context's region (or the
+  /// shared default region when extents are disabled).
+  BlockRef alloc_block(u32 disk) {
+    return alloc_->alloc(disk, extent_blocks_ > 1 ? region_ : 0);
+  }
 
   /// The co-ownable backend handle, for spawning job contexts that share
   /// this machine's disks.
@@ -125,8 +146,16 @@ class PdmContext {
   WriteBehindRing write_behind_;
   std::unique_ptr<DiskAllocator> own_alloc_;  // null for job contexts
   DiskAllocator* alloc_;
+  u32 region_ = 0;
+  usize extent_blocks_ = kDefaultExtentBlocks;
   Rng rng_;
   const std::atomic<bool>* cancel_ = nullptr;
+
+ public:
+  /// Default run-extent size: big enough that a memory-load read costs a
+  /// handful of syscalls per disk, small enough that tail waste (recycled
+  /// at finish()) stays negligible.
+  static constexpr usize kDefaultExtentBlocks = 32;
 };
 
 /// Convenience factories.

@@ -18,6 +18,13 @@
 //
 // Both rings wait out their in-flight tickets on destruction, so no
 // asynchronous request can outlive the buffers it targets.
+//
+// Extent behaviour: a ring submission is one batch, and the scheduler's
+// coalescing pass runs per batch — so a read-ahead chunk or a write-
+// behind slab goes to each disk as extent-sized transfers (the slab copy
+// preserves the producer's per-disk strides, which is what makes the
+// rewritten requests coalescible). Requests are never merged *across*
+// submissions: each ticket must remain an independently completable unit.
 #pragma once
 
 #include <cstring>
@@ -64,9 +71,10 @@ class WriteBehindRing {
   usize max_slab_bytes() const noexcept { return max_slab_bytes_; }
 
   /// Submits the batch with its payload copied into an internal slab; the
-  /// caller's source buffers may be reused immediately. Synchronous (and
-  /// copy-free) while the pipeline is disabled or the batch exceeds the
-  /// slab cap.
+  /// caller's source buffers may be reused immediately. Extent requests
+  /// (count > 1, possibly strided) are flattened contiguously into the
+  /// slab. Synchronous (and copy-free) while the pipeline is disabled or
+  /// the batch exceeds the slab cap.
   IoTicket submit_copy(std::span<const WriteReq> reqs) {
     if (reqs.empty()) return 0;
     if (!aio_->enabled()) {
@@ -74,23 +82,32 @@ class WriteBehindRing {
       return 0;
     }
     const usize bb = aio_->sync().backend().block_bytes();
-    if (reqs.size() * bb > max_slab_bytes_) {
+    u64 total_blocks = 0;
+    for (const auto& w : reqs) total_blocks += w.count;
+    if (total_blocks * bb > max_slab_bytes_) {
       aio_->write(reqs);  // ordered through the per-disk queues
       return 0;
     }
     Slot& s = slots_[cur_];
     cur_ = (cur_ + 1) % slots_.size();
     aio_->wait(s.ticket);
-    const usize want = reqs.size() * bb;
+    const usize want = static_cast<usize>(total_blocks) * bb;
     if (budget_ != nullptr && want != s.buf.size()) {
       if (want > s.buf.size()) budget_->acquire(want - s.buf.size());
       else budget_->release(s.buf.size() - want);
     }
     s.buf.resize(want);
     s.reqs.assign(reqs.begin(), reqs.end());
+    usize off = 0;
     for (usize i = 0; i < reqs.size(); ++i) {
-      std::memcpy(s.buf.data() + i * bb, reqs[i].src, bb);
-      s.reqs[i].src = s.buf.data() + i * bb;
+      const i64 stride = reqs[i].stride_or(bb);
+      s.reqs[i].src = s.buf.data() + off;
+      s.reqs[i].src_stride_bytes = 0;  // flattened: contiguous in the slab
+      for (u64 b = 0; b < reqs[i].count; ++b) {
+        std::memcpy(s.buf.data() + off,
+                    reqs[i].src + static_cast<i64>(b) * stride, bb);
+        off += bb;
+      }
     }
     s.ticket = aio_->write_async(s.reqs);
     return s.ticket;

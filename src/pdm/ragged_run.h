@@ -50,7 +50,7 @@ class RaggedRun {
   /// disks (the distribution pass does this).
   WriteReq stage_block_on(u32 disk, const R* block_buf, usize count) {
     PDM_CHECK(count > 0 && count <= rpb_, "bad ragged block count");
-    BlockRef ref = ctx_->alloc().alloc(disk % ctx_->D());
+    BlockRef ref = ctx_->alloc_block(disk % ctx_->D());
     segs_.push_back(Segment{ref, static_cast<u32>(count)});
     size_ += count;
     return WriteReq{ref, reinterpret_cast<const std::byte*>(block_buf)};

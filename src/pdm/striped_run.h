@@ -4,6 +4,18 @@
 // blocks of a run — and any batch of single blocks taken from D runs with
 // staggered start disks — occupy distinct disks and move in one parallel
 // I/O.
+//
+// Physically, each disk's share of the stripe is carved from extents
+// (ctx.extent_blocks() contiguous blocks at a time, inside the context's
+// allocator region), so logical blocks k, k+D, k+2D, ... of a run sit at
+// consecutive disk addresses: a bulk read or write of the run coalesces
+// into one extent-sized syscall per disk (see IoScheduler). finish() —
+// and, for runs abandoned by a cancelled or failed pass, the destructor
+// — returns the unconsumed extent tails to the allocator's free list,
+// so tail fragmentation is transient. Runs must not outlive their
+// context (they never did; the destructor now relies on it). With ctx.extent_blocks() <= 1 the run
+// falls back to legacy single-block bump allocation in the shared default
+// region (the block-interleaved baseline).
 #pragma once
 
 #include <span>
@@ -23,6 +35,78 @@ class StripedRun {
   explicit StripedRun(PdmContext& ctx, u32 start_disk = 0)
       : ctx_(&ctx), start_disk_(start_disk % ctx.D()) {
     rpb_ = ctx.rpb<R>();
+  }
+
+  /// Releases unconsumed extent tails even when the run never reached
+  /// finish() — a cancelled or failed pass must not strand disk space.
+  ~StripedRun() {
+    if (ctx_ != nullptr) release_extent_tails();
+  }
+
+  // Move-only: a copy would duplicate extent-tail ownership and the
+  // destructor would return the same spans to the free list twice.
+  StripedRun(StripedRun&& o) noexcept
+      : ctx_(o.ctx_),
+        blocks_(std::move(o.blocks_)),
+        extents_(std::move(o.extents_)),
+        grow_(std::move(o.grow_)),
+        tail_(std::move(o.tail_)),
+        size_(o.size_),
+        rpb_(o.rpb_),
+        start_disk_(o.start_disk_),
+        finished_(o.finished_) {
+    o.extents_.clear();  // moved-from source owns no tails
+  }
+
+  StripedRun& operator=(StripedRun&& o) noexcept {
+    if (this != &o) {
+      if (ctx_ != nullptr) release_extent_tails();
+      ctx_ = o.ctx_;
+      blocks_ = std::move(o.blocks_);
+      extents_ = std::move(o.extents_);
+      grow_ = std::move(o.grow_);
+      tail_ = std::move(o.tail_);
+      size_ = o.size_;
+      rpb_ = o.rpb_;
+      start_disk_ = o.start_disk_;
+      finished_ = o.finished_;
+      o.extents_.clear();
+    }
+    return *this;
+  }
+
+  /// Copies are metadata aliases: block refs are shared (fine — reads
+  /// only), but extent-tail ownership is unique and never duplicated, so
+  /// only runs with settled tails (finished, or never allocated) may be
+  /// copied — copying a mid-append run would strand or double-free its
+  /// tails.
+  StripedRun(const StripedRun& o)
+      : ctx_(o.ctx_),
+        blocks_(o.blocks_),
+        tail_(o.tail_),
+        size_(o.size_),
+        rpb_(o.rpb_),
+        start_disk_(o.start_disk_),
+        finished_(o.finished_) {
+    PDM_ASSERT(!o.owns_tails(), "copy of a StripedRun with live extent tails");
+  }
+
+  StripedRun& operator=(const StripedRun& o) {
+    if (this != &o) {
+      PDM_ASSERT(!o.owns_tails(),
+                 "copy of a StripedRun with live extent tails");
+      if (ctx_ != nullptr) release_extent_tails();
+      ctx_ = o.ctx_;
+      blocks_ = o.blocks_;
+      extents_.clear();
+      grow_.clear();
+      tail_ = o.tail_;
+      size_ = o.size_;
+      rpb_ = o.rpb_;
+      start_disk_ = o.start_disk_;
+      finished_ = o.finished_;
+    }
+    return *this;
   }
 
   PdmContext& ctx() const { return *ctx_; }
@@ -89,17 +173,20 @@ class StripedRun {
   }
 
   /// Flushes any buffered blocks plus a zero-padded partial tail block
-  /// (the logical size excludes the padding). Idempotent.
+  /// (the logical size excludes the padding), and recycles unconsumed
+  /// extent tails to the allocator. Idempotent.
   void finish() {
     if (finished_) return;
     if (tail_.size() >= rpb_) flush_full_blocks();
     finished_ = true;
-    if (tail_.empty()) return;
-    tail_.resize(rpb_, R{});
-    WriteReq req{alloc_next_block(),
-                 reinterpret_cast<const std::byte*>(tail_.data())};
-    ctx_->write_batch(std::span<const WriteReq>(&req, 1));
-    tail_.clear();
+    if (!tail_.empty()) {
+      tail_.resize(rpb_, R{});
+      WriteReq req{alloc_next_block(),
+                   reinterpret_cast<const std::byte*>(tail_.data())};
+      ctx_->write_batch(std::span<const WriteReq>(&req, 1));
+      tail_.clear();
+    }
+    release_extent_tails();
   }
 
   /// Read request for block i into caller memory (rpb records of space).
@@ -156,13 +243,57 @@ class StripedRun {
   BlockRef alloc_next_block() {
     const u32 disk =
         static_cast<u32>((start_disk_ + blocks_.size()) % ctx_->D());
-    BlockRef ref = ctx_->alloc().alloc(disk);
+    const usize eb = ctx_->extent_blocks();
+    if (eb <= 1) {
+      // Legacy path: single blocks, region selection via the context's
+      // one implementation of the convention — concurrent runs
+      // interleave block-by-block, nothing coalesces.
+      BlockRef ref = ctx_->alloc_block(disk);
+      blocks_.push_back(ref);
+      return ref;
+    }
+    if (extents_.empty()) {
+      extents_.assign(ctx_->D(), Extent{});
+      grow_.assign(ctx_->D(), kInitialExtentBlocks);
+    }
+    Extent& cur = extents_[disk];
+    if (cur.count == 0) {
+      // Adaptive sizing: short runs (an unshuffle part may own a single
+      // block per disk) waste at most a few tail blocks, long runs ramp
+      // up to the context's full extent size within a few refills.
+      const u64 want = std::min<u64>(eb, grow_[disk]);
+      grow_[disk] = static_cast<u32>(std::min<u64>(eb, u64{grow_[disk]} * 2));
+      cur = ctx_->alloc().alloc_extent(disk, want, ctx_->alloc_region());
+    }
+    BlockRef ref{disk, cur.index};
+    ++cur.index;
+    --cur.count;
     blocks_.push_back(ref);
     return ref;
   }
 
+  bool owns_tails() const {
+    for (const Extent& e : extents_) {
+      if (e.count > 0) return true;
+    }
+    return false;
+  }
+
+  void release_extent_tails() {
+    for (Extent& e : extents_) {
+      if (e.count > 0) {
+        ctx_->alloc().free_extent(e, ctx_->alloc_region());
+        e.count = 0;
+      }
+    }
+  }
+
+  static constexpr u32 kInitialExtentBlocks = 4;
+
   PdmContext* ctx_ = nullptr;
   std::vector<BlockRef> blocks_;
+  std::vector<Extent> extents_;  // per-disk unconsumed allocation tail
+  std::vector<u32> grow_;        // per-disk next extent size (doubling)
   std::vector<R> tail_;
   u64 size_ = 0;
   usize rpb_ = 0;

@@ -22,6 +22,12 @@
 // >= the previous window's maximum. When a violation is found the pass
 // aborts and the caller falls back to a deterministic sort, exactly as
 // ExpectedTwoPass prescribes.
+//
+// Extent note: both ends of this pass are sequential streams — the source
+// reads whole chunk-spans of each input run (run-major batches, see
+// ShuffleChunkSource) and the sink appends through StripedRun — so with
+// extent-backed runs the whole pass moves in extent-sized transfers; the
+// window sort in between never touches the disks.
 #pragma once
 
 #include <algorithm>

@@ -218,8 +218,11 @@ CleanupOutcome lmm_merge(PdmContext& ctx, std::span<const StripedRun<R>> runs,
         R* d = dst + j * per_part;
         for (u64 t = 0; t < per_part; ++t) d[t] = src[t * m + j];
       }
-      for (u64 b = 0; b < per_part / rpb; ++b) {
-        for (u64 j = 0; j < m; ++j) {
+      // Part-major staging (see run_formation.h): each part's blocks are
+      // consecutive in the batch, so per disk they form extent-contiguous
+      // spans the scheduler coalesces; per-disk load is unchanged.
+      for (u64 j = 0; j < m; ++j) {
+        for (u64 b = 0; b < per_part / rpb; ++b) {
           reqs.push_back(parts[run][static_cast<usize>(j)].stage_append_block(
               dst + j * per_part + b * rpb));
         }

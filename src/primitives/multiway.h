@@ -10,6 +10,13 @@
 // block I/O and utilization collapses to ~1. bench_e12_parallelism
 // measures exactly this contrast, which is the paper's §1 motivation for
 // oblivious algorithms.
+//
+// Extent note: the merge's reads are data-dependent single blocks into
+// data-dependent slab slots, so they rarely coalesce (neither the disk
+// indices nor the buffer strides line up) — forecasting quality, not
+// transfer size, is this pass's lever. Its *output* still benefits: the
+// sink appends sequentially through StripedRun, whose extent-backed
+// blocks flush as coalesced extent writes.
 #pragma once
 
 #include <deque>

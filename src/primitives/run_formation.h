@@ -143,8 +143,13 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
     for (u64 j = 0; j < m; ++j) {
       runs_i.emplace_back(ctx, static_cast<u32>((i + j) % ctx.D()));
     }
-    for (u64 b = 0; b < p_len / rpb; ++b) {
-      for (u64 j = 0; j < m; ++j) {
+    // Part-major staging: part j's blocks go out consecutively, so on
+    // each disk the batch is a physically contiguous extent per part
+    // (blocks b, b+D, ... of one run share an allocation extent) and the
+    // scheduler coalesces it into one syscall. Per-disk load — hence the
+    // parallel-op count — is identical to block-major order.
+    for (u64 j = 0; j < m; ++j) {
+      for (u64 b = 0; b < p_len / rpb; ++b) {
         reqs.push_back(runs_i[static_cast<usize>(j)].stage_append_block(
             parts_buf.data() + j * p_len + b * rpb));
       }

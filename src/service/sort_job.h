@@ -7,6 +7,7 @@
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <tuple>
 
@@ -126,12 +127,24 @@ class PlanCache {
     return entry(n, mem, rpb, alpha).algo;
   }
 
+  /// Cache peek that never plans: the admission path uses it to tighten
+  /// memory carves for shapes whose algorithm is already known without
+  /// paying a planner invocation per submission. Not counted as a hit or
+  /// miss (it is a lookup, not a planning request).
+  std::optional<PlanEntry> try_entry(u64 n, u64 mem, u64 rpb,
+                                     double alpha) const {
+    std::lock_guard g(mu_);
+    auto it = cache_.find(Key{n, mem, rpb, alpha});
+    if (it == cache_.end()) return std::nullopt;
+    return it->second;
+  }
+
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
   using Key = std::tuple<u64, u64, u64, double>;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<Key, PlanEntry> cache_;
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};

@@ -75,13 +75,67 @@ SortService::~SortService() {
   for (auto& w : workers_) w.join();
 }
 
+namespace {
+
+/// Per-algorithm working-set model for admission: carve =
+/// m_mult * M * record_bytes + block_overhead * D * block_bytes, covering
+/// the sort's tracked buffers plus the async pipeline's second load
+/// buffer and write-behind slabs (each bounded by ~M under the service's
+/// slab cap). Calibrated by binary-searching the minimal feasible job
+/// budget per algorithm across geometries (measured minima: InternalSort
+/// 3.0M; the LMM family 4.0M + 8·D·B at square-ish geometries, up to
+/// 5.0M at extreme M/B ratios) and padded ~10-15%. Algorithms not
+/// calibrated here fall back to the conservative uniform mem_slack.
+struct AdmissionSlack {
+  double m_mult = 0;
+  double block_overhead = 0;
+  bool calibrated = false;
+};
+
+AdmissionSlack algo_admission_slack(Algo a) {
+  switch (a) {
+    case Algo::kInternal:
+      // One M-record load + the pipeline's ping-pong load and slab.
+      return {3.25, 2.0, true};
+    case Algo::kExpectedTwoPass:
+    case Algo::kThreePassLmm:
+    case Algo::kExpectedThreePass:
+      // LMM family: unshuffle/merge/window buffers + pipeline slack
+      // (observed peaks reach 5.0M at extreme M/B ratios).
+      return {5.5, 8.0, true};
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
 usize SortService::admission_carve(const SortJobSpec& spec,
-                                   usize record_bytes) const {
-  return spec.carve_bytes != 0
-             ? spec.carve_bytes
-             : static_cast<usize>(cfg_.mem_slack *
-                                  static_cast<double>(spec.mem_records) *
-                                  static_cast<double>(record_bytes));
+                                   usize record_bytes, u64 n) const {
+  if (spec.carve_bytes != 0) return spec.carve_bytes;
+  const auto uniform =
+      static_cast<usize>(cfg_.mem_slack *
+                         static_cast<double>(spec.mem_records) *
+                         static_cast<double>(record_bytes));
+  const usize bb = backend_->block_bytes();
+  if (cfg_.plan_aware_admission && n > 0 && record_bytes > 0 &&
+      bb % record_bytes == 0) {
+    if (auto e = plans_.try_entry(n, spec.mem_records, bb / record_bytes,
+                                  spec.alpha)) {
+      const AdmissionSlack s = algo_admission_slack(e->algo);
+      if (s.calibrated) {
+        const auto carve = static_cast<usize>(
+            s.m_mult * static_cast<double>(spec.mem_records) *
+                static_cast<double>(record_bytes) +
+            s.block_overhead * static_cast<double>(backend_->num_disks()) *
+                static_cast<double>(bb));
+        // Never raise a carve above the conservative bound: a tighter
+        // global mem_slack keeps capping every admission.
+        return std::min(carve, uniform);
+      }
+    }
+  }
+  return uniform;
 }
 
 bool SortService::queue_before(const Job& a, const Job& b) const {
@@ -122,7 +176,7 @@ JobId SortService::submit_impl(SortJobSpec spec, u64 n, usize record_bytes,
   job->n = n;
   job->record_bytes = record_bytes;
   job->type_key = type_key;
-  job->carve_bytes = admission_carve(job->spec, record_bytes);
+  job->carve_bytes = admission_carve(job->spec, record_bytes, n);
   job->run = std::move(run);
   job->t_submit = Clock::now();
   if (job->spec.deadline_s > 0) {
@@ -457,6 +511,8 @@ void SortService::run_claim(Claim& claim, usize depth) {
   try {
     PdmContext ctx(backend_, alloc_, claim.carve, cfg_.cost,
                    cfg_.seed + claim.members.front()->id, &io_totals_);
+    ctx.set_extent_blocks(cfg_.extent_blocks);
+    ctx.io().set_coalescing(cfg_.coalesce_io);
     if (depth >= 2) ctx.set_async_depth(depth);
     for (auto& j : claim.members) run_one(*j, ctx);
   } catch (const std::exception& e) {

@@ -65,7 +65,30 @@ struct ServiceConfig {
   /// Default carve = mem_slack * mem_records * sizeof(record): the
   /// documented per-algorithm working-set slack (~2.5M) plus the async
   /// pipeline's extra load buffer and write-behind slabs, rounded up.
+  /// This is the conservative bound used when the job's shape has no
+  /// cached plan yet; see plan_aware_admission.
   double mem_slack = 6.0;
+
+  /// Plan-cache-aware admission: when a submitted shape's PlanEntry is
+  /// already cached, the carve uses that algorithm's calibrated
+  /// working-set model (InternalSort ~3.25M + 2·D·B, the LMM family
+  /// ~5.5M + 8·D·B, both including the pipeline's second load buffer
+  /// and write-behind slabs — see algo_admission_slack in the .cpp for
+  /// the measured minima) instead of the uniform mem_slack — admitting
+  /// more jobs at the same safety margin. The per-algorithm carve is
+  /// never raised above mem_slack's, so tightening the global knob
+  /// still caps every admission. Uncached shapes (and explicit
+  /// SortJobSpec::carve_bytes) are unaffected.
+  bool plan_aware_admission = true;
+
+  /// Blocks per allocation extent for job contexts (the per-syscall
+  /// coalescing ceiling); <= 1 reverts to single-block bump allocation,
+  /// interleaving concurrent jobs block-by-block (the bench baseline).
+  usize extent_blocks = 32;
+
+  /// Extent coalescing in job schedulers (see IoScheduler); off restores
+  /// the block-at-a-time backend path with identical ops/blocks/hashes.
+  bool coalesce_io = true;
 
   /// Jobs with n <= this coalesce with same-record-type jobs into one
   /// worker task (0 disables batching).
@@ -192,10 +215,14 @@ class SortService {
   ShardLoad load() const;
 
   /// The memory carve this service would require of `spec` at admission:
-  /// spec.carve_bytes, or mem_slack * mem_records * record_bytes. A carve
-  /// above budget().limit() means the job would be rejected — the cluster
-  /// router spills such jobs to a shard where they fit.
-  usize admission_carve(const SortJobSpec& spec, usize record_bytes) const;
+  /// spec.carve_bytes, or slack * mem_records * record_bytes — where the
+  /// slack is the per-algorithm constant when `n` is non-zero and the
+  /// shape's plan is cached (plan_aware_admission), else the conservative
+  /// mem_slack. A carve above budget().limit() means the job would be
+  /// rejected — the cluster router spills such jobs to a shard where
+  /// they fit.
+  usize admission_carve(const SortJobSpec& spec, usize record_bytes,
+                        u64 n = 0) const;
 
   /// The service-wide budget (reservations; peak = admission pressure).
   MemoryBudget& budget() noexcept { return budget_; }

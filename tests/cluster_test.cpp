@@ -242,6 +242,57 @@ TEST(Cluster, PassCountsUnchangedByShardCount)
   }
 }
 
+TEST(Cluster, StickySpillBackPinsRepeatedlySpillingTenant)
+{
+  ClusterConfig cfg;
+  cfg.shards = 2;
+  cfg.policy = RoutePolicy::kLocalityHash;
+  cfg.spill_promote_after = 2;
+  cfg.shard_configs.resize(2, cfg.shard);
+  cfg.shard_configs[0].workers = 1;
+  cfg.shard_configs[0].total_memory_bytes = usize{1} << 20;  // starved
+  cfg.shard_configs[1].workers = 1;
+  cfg.shard_configs[1].total_memory_bytes = usize{64} << 20;  // roomy
+  Cluster cluster(memory_backend_factory(kDisksPerShard, kBlockBytes), cfg);
+  std::string key = "k";
+  while (locality_hash(key) % 2 != 0) key += "k";
+  Rng rng(9);
+  // Every job of this tenant carves ~1.5 MiB: over shard 0's whole
+  // budget, so its hash-preferred placement always spills.
+  auto big_spec = [&](int i) {
+    SortJobSpec s = spec_of("sticky" + std::to_string(i), key);
+    s.mem_records = u64{32} << 10;
+    return s;
+  };
+  std::vector<JobId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(
+        cluster.submit<u64>(big_spec(i), make_keys(kMem, Dist::kUniform,
+                                                   rng)));
+  }
+  cluster.drain();
+  for (JobId id : ids) {
+    EXPECT_EQ(cluster.shard_of(id), 1u);
+    EXPECT_EQ(cluster.wait(id).state, JobState::kDone);
+  }
+  // The first spill_promote_after submissions spill (full rescans); after
+  // promotion the key is pinned to shard 1 and placements stop counting
+  // as spills.
+  const ClusterStats st = cluster.stats();
+  EXPECT_EQ(st.spilled, 2u);
+  ASSERT_TRUE(cluster.router().pinned_shard(key).has_value());
+  EXPECT_EQ(*cluster.router().pinned_shard(key), 1u);
+  // An unrelated tenant whose (small) jobs fit its preferred shard 0 is
+  // unaffected by the pin and never spills.
+  std::string key0 = "a";
+  while (locality_hash(key0) % 2 != 0) key0 += "a";
+  const JobId other = cluster.submit<u64>(
+      spec_of("other", key0), make_keys(kMem, Dist::kUniform, rng));
+  EXPECT_EQ(cluster.shard_of(other), 0u);
+  EXPECT_EQ(cluster.wait(other).state, JobState::kDone);
+  EXPECT_FALSE(cluster.router().pinned_shard(key0).has_value());
+}
+
 TEST(Cluster, ForgetCleansEvictedMappings)
 {
   ClusterConfig cfg;

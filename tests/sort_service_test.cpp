@@ -60,6 +60,53 @@ JobId submit_verified(SortService& svc, SortJobSpec spec,
       });
 }
 
+TEST(SortService, PlanAwareAdmissionTightensCachedShapes)
+{
+  SortService svc(make_backend(), {});
+  Rng rng(21);
+  SortJobSpec spec = spec_of("shape");
+  const u64 n_small = kMem;       // InternalSort shape
+  const u64 n_big = 16 * kMem;    // LMM-family shape
+  const usize uniform = svc.admission_carve(spec, sizeof(u64), n_small);
+  EXPECT_EQ(uniform,
+            static_cast<usize>(svc.config().mem_slack * kMem * sizeof(u64)))
+      << "uncached shapes must use the conservative uniform slack";
+
+  // Run one job of each shape so their PlanEntries land in the cache.
+  std::atomic<int> ok{0}, bad{0};
+  submit_verified(svc, spec, make_keys(n_small, Dist::kUniform, rng), ok,
+                  bad);
+  submit_verified(svc, spec, make_keys(n_big, Dist::kPermutation, rng), ok,
+                  bad);
+  svc.drain();
+  EXPECT_EQ(ok.load(), 2);
+  EXPECT_EQ(bad.load(), 0);
+
+  // Cached InternalSort shape: per-algorithm slack, well under uniform.
+  const usize internal_carve = svc.admission_carve(spec, sizeof(u64), n_small);
+  EXPECT_LT(internal_carve, uniform);
+  // Cached LMM shape: looser than InternalSort, never above the
+  // conservative bound (at tiny M the fixed D*B overhead dominates and
+  // the model clamps to uniform — LMM genuinely needs ~6M there).
+  const usize lmm_carve = svc.admission_carve(spec, sizeof(u64), n_big);
+  EXPECT_LE(lmm_carve, uniform);
+  EXPECT_GT(lmm_carve, internal_carve);
+  // An explicit carve always wins.
+  SortJobSpec manual = spec_of("manual");
+  manual.carve_bytes = 12345;
+  EXPECT_EQ(svc.admission_carve(manual, sizeof(u64), n_small), 12345u);
+
+  // The tightened carves are still sufficient: resubmitting the cached
+  // shapes (now admitted with per-algorithm slack) completes correctly.
+  submit_verified(svc, spec, make_keys(n_small, Dist::kUniform, rng), ok,
+                  bad);
+  submit_verified(svc, spec, make_keys(n_big, Dist::kPermutation, rng), ok,
+                  bad);
+  svc.drain();
+  EXPECT_EQ(ok.load(), 4);
+  EXPECT_EQ(bad.load(), 0);
+}
+
 TEST(SortService, BasicJobsCompleteSorted)
 {
   SortService svc(make_backend(), ServiceConfig{.workers = 2});
