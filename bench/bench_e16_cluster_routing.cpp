@@ -12,10 +12,18 @@
 // throughout (the paper's bounds are per-array properties — asserted
 // against the one-shard baseline per job).
 //
-// Gate (PR acceptance): at 4 shards under least_loaded, jobs/sec must be
-// at least `--gate` (default 1.5) times the 1-shard arm. --gate=0
-// disables. An optional arm repeats 1-vs-4 shards over FileDiskBackend
-// (real fds + page cache, no simulated latency; reported, not gated).
+// Gates (PR acceptance): at 4 shards under least_loaded, jobs/sec must
+// be at least `--gate` (default 1.5) times the 1-shard arm; and the
+// elasticity arm — a live 2→4 scale-out mid-workload (add_shard while
+// jobs are parked in the cluster hold queue; the newcomers steal the
+// backlog) — must complete every job and reach `--elastic_gate`
+// (default 1.2) times the static 2-shard baseline's jobs/sec, with
+// per-job pass counts still pinned to the 1-shard baseline. --gate=0 /
+// --elastic_gate=0 disable. The static policy arms run with the hold
+// queue off so they measure the routing policies in isolation; the
+// elastic arm runs the full hold-queue + stealing machinery. An
+// optional arm repeats 1-vs-4 shards over FileDiskBackend (real fds +
+// page cache, no simulated latency; reported, not gated).
 #include <filesystem>
 #include <memory>
 
@@ -58,8 +66,9 @@ int main(int argc, char** argv) {
   const u64 num_jobs = cli.get_u64("jobs", 48);
   const u64 tenants = cli.get_u64("tenants", 8);
   const double gate = cli.get_double("gate", 1.5);
+  const double elastic_gate = cli.get_double("elastic_gate", 1.2);
   const bool file_arm = cli.get_u64("file_arm", 1) != 0;
-  const std::string json_out = cli.get("json_out", "BENCH_PR3.json");
+  const std::string json_out = cli.get("json_out", "BENCH_PR5.json");
 
   StreamModel stream;
   stream.seq_us = cli.get_u64("seq_us", 10);
@@ -104,6 +113,7 @@ int main(int argc, char** argv) {
     cfg.shard.io_depth_total = 8 / shards;
     cfg.shard.total_memory_bytes = (usize{256} << 20) / shards;
     cfg.shard.seed = 42;
+    cfg.hold_queue = false;  // measure the routing policy in isolation
     Cluster cluster(
         [&](u32) -> std::shared_ptr<DiskBackend> {
           auto b = std::make_shared<MemoryDiskBackend>(
@@ -228,6 +238,91 @@ int main(int argc, char** argv) {
   }
   jw.end_arr();
 
+  // Elasticity arm: the same workload against (a) a static 2-shard
+  // cluster and (b) a cluster that starts at 2 shards and live-scales to
+  // 4 after a third of the submissions — per-shard hardware identical to
+  // the 4-shard arms, hold queue ON. The backlog parks in the cluster
+  // hold queue; the two newcomers join the consistent-hash ring and
+  // steal it. Gate: every job completes, and the scale-out beats the
+  // static 2-shard baseline's jobs/sec by >= --elastic_gate.
+  auto run_elastic = [&](bool grow) {
+    ClusterConfig cfg;
+    cfg.shards = 2;
+    cfg.policy = RoutePolicy::kLeastLoaded;
+    cfg.shard.workers = std::max<usize>(1, workers_total / 4);
+    cfg.shard.io_depth_total = 2;
+    cfg.shard.total_memory_bytes = (usize{256} << 20) / 4;
+    cfg.shard.seed = 42;
+    Cluster cluster(
+        [&](u32) -> std::shared_ptr<DiskBackend> {
+          auto b = std::make_shared<MemoryDiskBackend>(
+              disks_total / 4, static_cast<usize>(rpb) * sizeof(u64));
+          b->set_stream_model(stream);
+          return b;
+        },
+        cfg);
+    Timer timer;
+    std::vector<JobId> ids;
+    for (u64 j = 0; j < num_jobs; ++j) {
+      if (grow && j == num_jobs / 3) {
+        cluster.add_shard();
+        cluster.add_shard();
+      }
+      SortJobSpec spec;
+      spec.name = "ejob" + std::to_string(j);
+      spec.mem_records = mem;
+      spec.locality_key = keys[static_cast<usize>(j)];
+      ids.push_back(
+          cluster.submit<u64>(spec, datasets[static_cast<usize>(j)]));
+    }
+    cluster.drain();
+    const double makespan = timer.seconds();
+    const ClusterStats st = cluster.stats();
+    PDM_CHECK(st.completed == num_jobs,
+              "E16 elastic arm: a job was lost");
+    for (usize j = 0; j < ids.size(); ++j) {
+      PDM_CHECK(cluster.info(ids[j]).report.passes == base_passes[j],
+                "E16 elastic arm: scale-out changed a job's pass count");
+    }
+    return std::make_pair(makespan, st);
+  };
+  const auto [static2_s, static2_st] = run_elastic(false);
+  const auto [elastic_s, elastic_st] = run_elastic(true);
+  const double elastic_speedup = static2_s / std::max(1e-9, elastic_s);
+  std::cout << "\nElasticity arm (2 -> 4 live scale-out at 1/3 of "
+            << "submissions, hold queue + stealing on):\n";
+  Table et({"arm", "makespan_s", "jobs_per_sec", "speedup", "held",
+            "stolen"});
+  et.row()
+      .cell(std::string("static-2"))
+      .cell(static2_s, 3)
+      .cell(static_cast<double>(num_jobs) / static2_s, 1)
+      .cell(1.0, 2)
+      .cell(static2_st.held_total)
+      .cell(static2_st.stolen);
+  et.row()
+      .cell(std::string("elastic-2to4"))
+      .cell(elastic_s, 3)
+      .cell(static_cast<double>(num_jobs) / elastic_s, 1)
+      .cell(elastic_speedup, 2)
+      .cell(elastic_st.held_total)
+      .cell(elastic_st.stolen);
+  et.print(std::cout);
+  jw.key("elastic").begin_obj();
+  jw.key("static2_makespan_s").value(static2_s);
+  jw.key("static2_jobs_per_sec")
+      .value(static_cast<double>(num_jobs) / static2_s);
+  jw.key("elastic_makespan_s").value(elastic_s);
+  jw.key("elastic_jobs_per_sec")
+      .value(static_cast<double>(num_jobs) / elastic_s);
+  jw.key("speedup_vs_static2").value(elastic_speedup);
+  jw.key("shards_added").value(elastic_st.shards_added);
+  jw.key("held_total").value(elastic_st.held_total);
+  jw.key("stolen").value(elastic_st.stolen);
+  jw.key("completed").value(elastic_st.completed);
+  jw.key("gate").value(elastic_gate);
+  jw.end_obj();
+
   // Real-file arm: same job set, 1 vs 4 shards over FileDiskBackend
   // (page cache + fd contention instead of the stream model; reported,
   // not gated — FS timing is too machine-dependent for CI).
@@ -298,7 +393,17 @@ int main(int argc, char** argv) {
             << fmt_double(gate_speedup, 2) << "x, need >= " << gate
             << "x: "
             << (gate <= 0 || gate_speedup >= gate ? "PASS" : "FAIL") << "\n";
+  std::cout << "elasticity gate (live 2->4 scale-out vs static 2 shards): "
+            << fmt_double(elastic_speedup, 2) << "x, need >= "
+            << elastic_gate << "x: "
+            << (elastic_gate <= 0 || elastic_speedup >= elastic_gate
+                    ? "PASS"
+                    : "FAIL")
+            << "\n";
   PDM_CHECK(gate <= 0 || gate_speedup >= gate,
             "E16 gate failed: sharded throughput below threshold");
+  PDM_CHECK(elastic_gate <= 0 || elastic_speedup >= elastic_gate,
+            "E16 elasticity gate failed: live scale-out below the static "
+            "2-shard baseline threshold");
   return 0;
 }

@@ -1,63 +1,454 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
+
 namespace pdm {
 
+namespace {
+
+double seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
 Cluster::Cluster(BackendFactory make_backend, ClusterConfig cfg)
-    : router_(cfg.shards, cfg.policy, cfg.router_seed),
+    : make_backend_(std::move(make_backend)),
+      cfg_(cfg),
+      router_(cfg.shards, cfg.policy, cfg.router_seed, cfg.ring_vnodes),
       jobs_per_shard_(cfg.shards, 0) {
   router_.set_spill_promote_after(cfg.spill_promote_after);
   PDM_CHECK(cfg.shards > 0, "Cluster needs at least one shard");
-  PDM_CHECK(make_backend != nullptr, "Cluster needs a backend factory");
+  PDM_CHECK(make_backend_ != nullptr, "Cluster needs a backend factory");
   PDM_CHECK(cfg.shard_configs.empty() || cfg.shard_configs.size() == cfg.shards,
             "shard_configs must be empty or have one entry per shard");
-  shards_.reserve(cfg.shards);
+  slots_.reserve(cfg.shards);
   for (usize i = 0; i < cfg.shards; ++i) {
     ServiceConfig sc =
         cfg.shard_configs.empty() ? cfg.shard : cfg.shard_configs[i];
-    sc.shard_id = static_cast<u32>(i);
-    auto backend = make_backend(static_cast<u32>(i));
-    PDM_CHECK(backend != nullptr, "backend factory returned null");
-    shards_.push_back(
-        std::make_unique<SortService>(std::move(backend), sc));
+    slots_.push_back(Slot{make_service(static_cast<u32>(i), std::move(sc)),
+                          SlotState::kActive, 0});
   }
 }
 
+Cluster::~Cluster() {
+  {
+    std::lock_guard g(mu_);
+    stopping_ = true;  // pumps and new submissions stop
+  }
+  // Disconnect the capacity callbacks so shard workers stop calling into
+  // a dying cluster; an invocation already in flight blocks on mu_, sees
+  // stopping_, and returns before the services (and then mu_) go away.
+  for (auto& slot : slots_) {
+    if (slot.service) slot.service->set_capacity_callback(nullptr);
+  }
+}
+
+std::shared_ptr<SortService> Cluster::make_service(u32 id, ServiceConfig sc) {
+  sc.shard_id = id;
+  auto backend = make_backend_(id);
+  PDM_CHECK(backend != nullptr, "backend factory returned null");
+  auto svc = std::make_shared<SortService>(std::move(backend), sc);
+  svc->set_capacity_callback([this] { on_capacity_freed(); });
+  return svc;
+}
+
 std::vector<ShardLoad> Cluster::shard_loads() const {
-  std::vector<ShardLoad> loads;
-  loads.reserve(shards_.size());
-  for (const auto& s : shards_) loads.push_back(s->load());
+  // Copy the live service handles under the lock, poll loads outside it
+  // (each load() briefly takes its shard's mutex).
+  std::vector<std::shared_ptr<SortService>> svcs;
+  {
+    std::lock_guard g(mu_);
+    svcs.reserve(slots_.size());
+    for (const Slot& s : slots_) {
+      svcs.push_back(s.state == SlotState::kActive ? s.service : nullptr);
+    }
+  }
+  std::vector<ShardLoad> loads(svcs.size());
+  for (usize i = 0; i < svcs.size(); ++i) {
+    if (svcs[i]) {
+      loads[i] = svcs[i]->load();
+    } else {
+      loads[i].shard = static_cast<u32>(i);  // retired placeholder
+    }
+  }
   return loads;
 }
 
-u32 Cluster::place_locked(const SortJobSpec& spec, usize record_bytes, u64 n,
-                          std::span<const ShardLoad> loads) {
+Cluster::PlaceResult Cluster::place_locked(const SortJobSpec& spec,
+                                           usize record_bytes, u64 n,
+                                           std::span<const ShardLoad> loads) {
   const bool was_pinned = router_.pinned_shard(spec.locality_key).has_value();
   const u32 preferred = router_.place(spec, loads);
-  auto fits = [&](u32 i) {
-    return shards_[i]->admission_carve(spec, record_bytes, n) <=
-           shards_[i]->budget().limit();
+  usize carve = 0;  // of the last shard probed = the one returned
+  auto fits_ever = [&](u32 i) {
+    if (slots_[i].state != SlotState::kActive) return false;
+    carve = slots_[i].service->admission_carve(spec, record_bytes, n);
+    return carve <= slots_[i].service->budget().limit();
   };
-  if (fits(preferred)) {
+  if (fits_ever(preferred)) {
     // A fit on the tenant's *policy-preferred* shard ends any spill
     // streak; a fit on its pinned spill target keeps the pin sticky.
     if (!was_pinned) router_.note_preferred_ok(spec.locality_key);
-    return preferred;
+    return {preferred, true, carve};
   }
   // Overflow spill: the preferred shard would reject this job outright
   // (its carve exceeds the whole shard budget). Retry on the least-loaded
   // shard that can admit it before letting the rejection stand; after
   // spill_promote_after consecutive spills the router pins the tenant to
   // its spill target and stops re-scanning (sticky spill-back).
-  const u32 alt = router_.least_loaded_where(loads, preferred, fits);
-  if (alt < shards_.size()) {
+  const u32 alt = router_.least_loaded_where(loads, preferred, fits_ever);
+  if (alt != ShardRouter::kNone) {
     ++spilled_;
     router_.note_spill(spec.locality_key, alt);
-    return alt;
+    // The scan probed several shards; re-ask the winner for its carve.
+    return {alt, true,
+            slots_[alt].service->admission_carve(spec, record_bytes, n)};
   }
   // No shard fits: submit to the preferred shard anyway so the tenant
-  // gets a job record with the rejection reason.
+  // gets a job record with the rejection reason. (The carve is unused —
+  // rejects dispatch directly.)
   ++rejected_cluster_wide_;
-  return preferred;
+  return {preferred, false, 0};
+}
+
+void Cluster::add_record_locked(JobId id, JobInfo rec) {
+  records_.emplace(id, std::move(rec));
+  record_fifo_.push_back(id);
+  if (cfg_.retain_cluster_records_max == 0) return;
+  // FIFO entries may be stale (forget() erases records without scrubbing
+  // the queue); popping a stale id just advances the cursor.
+  while (records_.size() > cfg_.retain_cluster_records_max &&
+         !record_fifo_.empty()) {
+    records_.erase(record_fifo_.front());
+    record_fifo_.pop_front();
+  }
+}
+
+JobInfo Cluster::held_snapshot(const HeldJob& h, JobState state) {
+  JobInfo out;
+  out.id = h.id;
+  out.shard = h.home;
+  out.name = h.job.spec.name;
+  out.state = state;
+  out.n = h.job.n;
+  out.priority = h.job.spec.priority;
+  out.queue_s = seconds(Clock::now() - h.t_submit);
+  return out;
+}
+
+bool Cluster::held_before(const HeldJob& a, const HeldJob& b) {
+  if (a.job.spec.priority != b.job.spec.priority) {
+    return a.job.spec.priority > b.job.spec.priority;
+  }
+  if (a.deadline_abs != b.deadline_abs) return a.deadline_abs < b.deadline_abs;
+  return a.id < b.id;
+}
+
+void Cluster::hold_insert_locked(HeldJob h) {
+  auto pos = std::upper_bound(hold_.begin(), hold_.end(), h, held_before);
+  hold_.insert(pos, std::move(h));
+}
+
+void Cluster::on_capacity_freed() {
+  std::lock_guard g(mu_);
+  if (stopping_) return;
+  pump_locked();
+}
+
+void Cluster::pump_locked() {
+  if (stopping_ || hold_.empty() || router_.num_active() == 0) return;
+  const std::vector<u32> act = router_.active();  // copy: dispatch mutates
+  // Fresh headroom snapshot (each load() briefly takes its shard's
+  // mutex; lock order is always cluster -> shard).
+  std::vector<ShardLoad> loads(slots_.size());
+  for (u32 s : act) loads[s] = slots_[s].service->load();
+
+  for (usize i = 0; i < hold_.size();) {
+    HeldJob& h = hold_[i];
+    auto carve_on = [&](u32 s) {
+      return slots_[s].service->admission_carve(h.job.spec,
+                                                h.job.record_bytes, h.job.n);
+    };
+    // A home that was drained re-routes once (and sticks, so repeated
+    // pumps don't re-roll round-robin state for the same job).
+    if (!router_.is_active(h.home)) {
+      h.home = router_.place(h.job.spec, loads);
+    }
+    u32 target = ShardRouter::kNone;
+    usize target_carve = 0;
+    bool fits_somewhere = false;
+    {
+      const usize c = carve_on(h.home);
+      if (c <= slots_[h.home].service->budget().limit()) {
+        fits_somewhere = true;
+        if (!cfg_.hold_queue || loads[h.home].fits_now(c)) {
+          target = h.home;
+          target_carve = c;
+        }
+      }
+    }
+    if (target == ShardRouter::kNone) {
+      // Steal scan: the least-loaded other shard that can take it now
+      // (or, with the hold queue disabled — migration-only mode — that
+      // can ever take it).
+      double best = 0;
+      for (u32 s : act) {
+        if (s == h.home) continue;
+        const usize c = carve_on(s);
+        if (c > slots_[s].service->budget().limit()) continue;
+        fits_somewhere = true;
+        if (cfg_.hold_queue && !loads[s].fits_now(c)) continue;
+        if (target == ShardRouter::kNone || loads[s].score() < best) {
+          target = s;
+          target_carve = c;
+          best = loads[s].score();
+        }
+      }
+    }
+    if (!fits_somewhere) {
+      // Every shard that could ever have admitted it was drained:
+      // reject cluster-side with a terminal record.
+      JobInfo rec = held_snapshot(h, JobState::kRejected);
+      rec.error =
+          "admission control: no active shard can fit the job's memory "
+          "carve (its fitting shards were drained)";
+      add_record_locked(h.id, std::move(rec));
+      jobs_.erase(h.id);
+      ++held_rejected_;
+      ++rejected_cluster_wide_;
+      hold_.erase(hold_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    if (target == ShardRouter::kNone) {
+      ++i;  // nobody has headroom yet; a capacity callback will retry
+      continue;
+    }
+    // Dispatch. Deadlines are wall-clock promises made at submission:
+    // charge the time spent parked against the relative deadline the
+    // serving shard sees.
+    if (h.job.spec.deadline_s > 0) {
+      const double waited = seconds(Clock::now() - h.t_submit);
+      h.job.spec.deadline_s = std::max(1e-9, h.job.spec.deadline_s - waited);
+    }
+    const JobId local =
+        slots_[target].service->submit_prepared(std::move(h.job));
+    jobs_[h.id] = Placement{target, local};
+    ++jobs_per_shard_[target];
+    if (target != h.home) ++stolen_;
+    // Reflect the reservation in our load copy so later holds in this
+    // pump see the shard as (possibly) full again.
+    loads[target].queued += 1;
+    loads[target].reserved_bytes += target_carve;
+    hold_.erase(hold_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  place_cv_.notify_all();
+}
+
+JobId Cluster::submit_prepared(PreparedJob job) {
+  PDM_CHECK(job.run != nullptr, "submit_prepared: empty job");
+  std::vector<ShardLoad> loads = shard_loads();
+  std::unique_lock lock(mu_);
+  PDM_CHECK(!stopping_, "Cluster is shutting down");
+  // An add_shard may have landed between the loads snapshot and the
+  // lock: top the snapshot up so it covers every slot (each load()
+  // briefly takes its shard's mutex — cluster -> shard order).
+  while (loads.size() < slots_.size()) {
+    const usize i = loads.size();
+    loads.push_back(slots_[i].state == SlotState::kActive
+                        ? slots_[i].service->load()
+                        : ShardLoad{.shard = static_cast<u32>(i)});
+  }
+  const JobId id = next_id_++;
+  const PlaceResult pr =
+      place_locked(job.spec, job.record_bytes, job.n, loads);
+  // Direct dispatch when the hold queue is off, the job is a cluster-wide
+  // reject (the shard produces the rejection record), or the placed shard
+  // has headroom AND no earlier job is parked (order preservation: a
+  // non-empty queue means everything routes through it).
+  const bool direct = !cfg_.hold_queue || !pr.admissible ||
+                      (hold_.empty() && loads[pr.shard].fits_now(pr.carve));
+  if (direct) {
+    auto svc = slots_[pr.shard].service;
+    ++slots_[pr.shard].in_flight_submits;
+    lock.unlock();
+    JobId local = 0;
+    try {
+      local = svc->submit_prepared(std::move(job));
+    } catch (...) {
+      lock.lock();
+      --slots_[pr.shard].in_flight_submits;
+      place_cv_.notify_all();
+      throw;
+    }
+    lock.lock();
+    --slots_[pr.shard].in_flight_submits;
+    jobs_.emplace(id, Placement{pr.shard, local});
+    ++jobs_per_shard_[pr.shard];
+    place_cv_.notify_all();
+  } else {
+    HeldJob h;
+    h.id = id;
+    h.home = pr.shard;
+    h.t_submit = Clock::now();
+    if (job.spec.deadline_s > 0) {
+      h.deadline_abs =
+          h.t_submit + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(job.spec.deadline_s));
+    }
+    h.job = std::move(job);
+    hold_insert_locked(std::move(h));
+    jobs_.emplace(id, Placement{});  // kHeldShard
+    ++held_total_;
+    pump_locked();  // may dispatch immediately (idle shards steal)
+  }
+  maybe_prune_locked();
+  return id;
+}
+
+u32 Cluster::add_shard() { return add_shard(cfg_.shard); }
+
+u32 Cluster::add_shard(ServiceConfig sc) {
+  std::lock_guard topo(topo_mu_);
+  u32 id = 0;
+  {
+    std::lock_guard g(mu_);
+    PDM_CHECK(!stopping_, "Cluster is shutting down");
+    id = static_cast<u32>(slots_.size());
+  }
+  // Build the service outside the cluster mutex (its workers start
+  // immediately); topo_mu_ keeps the id reservation safe.
+  auto svc = make_service(id, std::move(sc));
+  std::lock_guard g(mu_);
+  slots_.push_back(Slot{std::move(svc), SlotState::kActive, 0});
+  jobs_per_shard_.push_back(0);
+  router_.add_shard(id);
+  ++shards_added_;
+  // The newcomer steals parked backlog right away.
+  pump_locked();
+  place_cv_.notify_all();
+  return id;
+}
+
+void Cluster::drain_shard(u32 id) {
+  std::lock_guard topo(topo_mu_);
+  std::shared_ptr<SortService> svc;
+  {
+    std::unique_lock lock(mu_);
+    PDM_CHECK(id < slots_.size(), "drain_shard: unknown shard");
+    PDM_CHECK(slots_[id].state == SlotState::kActive,
+              "drain_shard: shard is not active");
+    PDM_CHECK(router_.num_active() > 1,
+              "drain_shard: cannot drain the last active shard");
+    slots_[id].state = SlotState::kDraining;
+    router_.remove_shard(id);  // placement and pumps stop picking it
+    // Direct submits that chose this shard before the drain settle
+    // first, so extraction sees every queued job.
+    place_cv_.wait(lock,
+                   [&] { return slots_[id].in_flight_submits == 0; });
+    svc = slots_[id].service;
+  }
+  // Phase A: pull every still-queued job off the shard. Their shard
+  // records go kMigrated (waiters bounce back to us); running jobs are
+  // untouched and finish below.
+  auto extracted = svc->extract_queued();
+  {
+    std::lock_guard g(mu_);
+    // Reverse-map this shard's local ids to cluster ids.
+    std::map<JobId, JobId> to_cluster;
+    for (const auto& [cid, p] : jobs_) {
+      if (p.shard == id) to_cluster[p.local] = cid;
+    }
+    for (auto& ex : extracted) {
+      auto found = to_cluster.find(ex.local_id);
+      // Jobs submitted directly to the shard (bypassing the cluster)
+      // have no cluster id; adopt them under a fresh one so they are
+      // not lost.
+      const JobId cid =
+          found != to_cluster.end() ? found->second : next_id_++;
+      if (found != to_cluster.end() && jobs_per_shard_[id] > 0) {
+        --jobs_per_shard_[id];  // it re-counts where it re-places
+      }
+      HeldJob h;
+      h.id = cid;
+      h.home = id;  // inactive now; pump re-routes it once
+      h.t_submit = ex.t_submit;
+      if (ex.job.spec.deadline_s > 0) {
+        h.deadline_abs =
+            ex.t_submit +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(ex.job.spec.deadline_s));
+      }
+      h.job = std::move(ex.job);
+      hold_insert_locked(std::move(h));
+      jobs_[cid] = Placement{};  // kHeldShard
+      ++migrated_;
+    }
+    // Phase B: re-place the migrants immediately where possible, and
+    // wake waiters that saw kMigrated so they re-resolve.
+    pump_locked();
+    place_cv_.notify_all();
+  }
+  // Phase C: running (and claimed) jobs finish on the shard.
+  svc->drain();
+  // Phase D: move the shard's terminal records and final stats into
+  // cluster-held storage, then retire the slot. Waiters still blocked
+  // inside svc->wait() hold their own shared_ptr — the service object
+  // outlives them.
+  {
+    std::lock_guard g(mu_);
+    std::map<JobId, JobId> to_cluster;
+    for (const auto& [cid, p] : jobs_) {
+      if (p.shard == id) to_cluster[p.local] = cid;
+    }
+    for (JobInfo ji : svc->jobs()) {
+      auto found = to_cluster.find(ji.id);
+      if (found == to_cluster.end()) continue;  // direct-to-shard submit
+      ji.id = found->second;
+      const JobId cid = found->second;
+      add_record_locked(cid, std::move(ji));
+      jobs_.erase(cid);
+    }
+    // Placements still pointing here belong to records the shard's
+    // retention policy evicted before the drain: drop them, so lookups
+    // throw "unknown job id" exactly as post-eviction lookups always
+    // have (instead of dangling on a retired slot).
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      it = it->second.shard == id ? jobs_.erase(it) : ++it;
+    }
+    ServiceStats fin = svc->stats();
+    fin.retained = 0;  // its records are cluster-held now
+    retired_stats_.emplace(id, std::move(fin));
+    slots_[id].service.reset();  // svc still holds a ref; dtor runs below
+    slots_[id].state = SlotState::kRetired;
+    ++shards_drained_;
+    place_cv_.notify_all();
+  }
+  svc->set_capacity_callback(nullptr);
+  // svc's destructor (joining the shard's idle workers) runs here if we
+  // held the last reference — outside every lock.
+}
+
+bool Cluster::shard_active(u32 id) const {
+  std::lock_guard g(mu_);
+  return id < slots_.size() && slots_[id].state == SlotState::kActive;
+}
+
+std::vector<u32> Cluster::active_shards() const {
+  std::lock_guard g(mu_);
+  return router_.active();
+}
+
+usize Cluster::num_shards() const {
+  std::lock_guard g(mu_);
+  return slots_.size();
+}
+
+SortService& Cluster::shard(usize i) {
+  std::lock_guard g(mu_);
+  PDM_CHECK(i < slots_.size(), "cluster: unknown shard");
+  PDM_CHECK(slots_[i].service != nullptr, "cluster: shard is retired");
+  return *slots_[i].service;
 }
 
 Cluster::Placement Cluster::placement_of(JobId id) const {
@@ -68,42 +459,160 @@ Cluster::Placement Cluster::placement_of(JobId id) const {
 }
 
 JobInfo Cluster::wait(JobId id) {
-  const Placement p = placement_of(id);
-  JobInfo info = shards_[p.shard]->wait(p.local);
-  info.id = id;
-  return info;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (auto r = records_.find(id); r != records_.end()) return r->second;
+    auto it = jobs_.find(id);
+    PDM_CHECK(it != jobs_.end(), "cluster: unknown job id");
+    const Placement p = it->second;
+    if (p.shard == kHeldShard || slots_[p.shard].service == nullptr) {
+      // Parked (or racing a retirement that is about to publish the
+      // record): wait for the placement or record to change.
+      place_cv_.wait(lock);
+      continue;
+    }
+    auto svc = slots_[p.shard].service;
+    lock.unlock();
+    JobInfo info = svc->wait(p.local);
+    lock.lock();
+    if (info.state == JobState::kMigrated) {
+      // Extracted off a draining shard between our placement read and
+      // the shard-side wait; wait for the re-placement to land.
+      place_cv_.wait(lock, [&] {
+        if (records_.count(id) != 0) return true;
+        auto again = jobs_.find(id);
+        return again == jobs_.end() ||
+               again->second.shard != p.shard ||
+               again->second.local != p.local;
+      });
+      continue;
+    }
+    info.id = id;
+    return info;
+  }
 }
 
 JobInfo Cluster::info(JobId id) const {
-  const Placement p = placement_of(id);
-  JobInfo info = shards_[p.shard]->info(p.local);
-  info.id = id;
-  return info;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (auto r = records_.find(id); r != records_.end()) return r->second;
+    auto it = jobs_.find(id);
+    PDM_CHECK(it != jobs_.end(), "cluster: unknown job id");
+    const Placement p = it->second;
+    if (p.shard == kHeldShard) {
+      // Synthesize a queued snapshot from the hold entry.
+      auto held = std::find_if(hold_.begin(), hold_.end(),
+                               [&](const HeldJob& h) { return h.id == id; });
+      PDM_ASSERT(held != hold_.end(), "held placement without a hold entry");
+      return held_snapshot(*held, JobState::kQueued);
+    }
+    if (slots_[p.shard].service == nullptr) {
+      place_cv_.wait(lock);  // racing a retirement's record publication
+      continue;
+    }
+    auto svc = slots_[p.shard].service;
+    lock.unlock();
+    bool migrated = false;
+    try {
+      JobInfo out = svc->info(p.local);
+      if (out.state != JobState::kMigrated) {
+        out.id = id;
+        return out;
+      }
+      migrated = true;
+    } catch (const Error&) {
+      // The record vanished under us (extraction or retention); if the
+      // placement moved on, retry against the new home — otherwise it
+      // really is gone.
+      lock.lock();
+      auto again = jobs_.find(id);
+      if (again != jobs_.end() && again->second.shard == p.shard &&
+          again->second.local == p.local && records_.count(id) == 0) {
+        throw;
+      }
+      continue;
+    }
+    lock.lock();
+    if (migrated) {
+      // Extracted off a draining shard; wait for the re-placement.
+      place_cv_.wait(lock, [&] {
+        if (records_.count(id) != 0) return true;
+        auto again = jobs_.find(id);
+        return again == jobs_.end() || again->second.shard != p.shard ||
+               again->second.local != p.local;
+      });
+    }
+  }
 }
 
 bool Cluster::cancel(JobId id) {
   std::unique_lock lock(mu_);
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return false;
-  const Placement p = it->second;
-  lock.unlock();
-  return shards_[p.shard]->cancel(p.local);
+  for (;;) {
+    if (records_.count(id) != 0) return false;  // already terminal
+    auto held = std::find_if(hold_.begin(), hold_.end(),
+                             [&](const HeldJob& h) { return h.id == id; });
+    if (held != hold_.end()) {
+      add_record_locked(id, held_snapshot(*held, JobState::kCancelled));
+      hold_.erase(held);
+      jobs_.erase(id);  // the record answers lookups from here on
+      ++held_cancelled_;
+      place_cv_.notify_all();
+      return true;
+    }
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    const Placement p = it->second;
+    if (p.shard == kHeldShard) {
+      // Placement says held but the hold entry is gone: a pump is
+      // mid-dispatch is impossible (both happen under mu_), so this is
+      // a record transition we raced; retry.
+      place_cv_.wait(lock);
+      continue;
+    }
+    if (slots_[p.shard].service == nullptr) {
+      place_cv_.wait(lock);  // racing retirement's record publication
+      continue;
+    }
+    auto svc = slots_[p.shard].service;
+    lock.unlock();
+    const bool ok = svc->cancel(p.local);
+    lock.lock();
+    if (ok) return true;
+    // A false may mean "terminal" — or "migrated away mid-call". Retry
+    // only if the placement moved.
+    auto again = jobs_.find(id);
+    if (again == jobs_.end() || (again->second.shard == p.shard &&
+                                 again->second.local == p.local)) {
+      return false;
+    }
+  }
 }
 
 bool Cluster::forget(JobId id) {
   std::unique_lock lock(mu_);
+  if (auto r = records_.find(id); r != records_.end()) {
+    records_.erase(r);
+    jobs_.erase(id);
+    return true;
+  }
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
   const Placement p = it->second;
+  if (p.shard == kHeldShard) return false;  // still queued (held)
+  if (slots_[p.shard].service == nullptr) return false;  // racing retirement
+  auto svc = slots_[p.shard].service;
   lock.unlock();
   // The shard refuses while the job is queued/running; a record the
   // shard's retention policy already dropped counts as forgotten.
-  if (!shards_[p.shard]->forget(p.local) &&
-      shards_[p.shard]->known(p.local)) {
-    return false;
-  }
+  const bool dropped = svc->forget(p.local) || !svc->known(p.local);
   lock.lock();
-  jobs_.erase(id);
+  auto again = jobs_.find(id);
+  if (again == jobs_.end() || again->second.shard != p.shard ||
+      again->second.local != p.local) {
+    return false;  // migrated away mid-call: the job lives elsewhere
+  }
+  if (!dropped) return false;
+  jobs_.erase(again);
   return true;
 }
 
@@ -113,7 +622,9 @@ void Cluster::maybe_prune_locked() {
   // Amortized O(1) per submit: without this, shard-side retention would
   // leave the cluster's id map growing one dead mapping per evicted job.
   for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (!shards_[it->second.shard]->known(it->second.local)) {
+    const Placement& p = it->second;
+    if (p.shard != kHeldShard && slots_[p.shard].service != nullptr &&
+        !slots_[p.shard].service->known(p.local)) {
       it = jobs_.erase(it);
     } else {
       ++it;
@@ -122,24 +633,77 @@ void Cluster::maybe_prune_locked() {
 }
 
 void Cluster::drain() {
-  for (auto& s : shards_) s->drain();
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      place_cv_.wait(lock, [&] { return hold_.empty(); });
+    }
+    // Everything is dispatched; drain the active shards (outside mu_ —
+    // capacity callbacks must be able to pump while we block).
+    std::vector<std::shared_ptr<SortService>> svcs;
+    {
+      std::lock_guard g(mu_);
+      for (const Slot& s : slots_) {
+        if (s.state == SlotState::kActive) svcs.push_back(s.service);
+      }
+    }
+    for (auto& s : svcs) s->drain();
+    std::lock_guard g(mu_);
+    bool settled = hold_.empty();
+    for (const Slot& s : slots_) settled = settled && s.in_flight_submits == 0;
+    if (settled) return;
+  }
 }
 
-u32 Cluster::shard_of(JobId id) const { return placement_of(id).shard; }
+u32 Cluster::shard_of(JobId id) const {
+  {
+    std::lock_guard g(mu_);
+    if (auto r = records_.find(id); r != records_.end()) {
+      return r->second.shard;
+    }
+  }
+  return placement_of(id).shard;
+}
 
 ClusterStats Cluster::stats() const {
   ClusterStats c;
-  c.shards = shards_.size();
-  c.per_shard.reserve(shards_.size());
-  for (const auto& s : shards_) c.per_shard.push_back(s->stats());
-  // Shard snapshots are taken before the cluster lock (each stats() takes
-  // its shard's mutex); the cluster-side counters come after.
+  // Live shard snapshots are taken outside the cluster lock (each
+  // stats() takes its shard's mutex); retired snapshots and the
+  // cluster-side counters come after, under it.
+  std::vector<std::shared_ptr<SortService>> svcs;
   {
     std::lock_guard g(mu_);
+    svcs.reserve(slots_.size());
+    for (const Slot& s : slots_) svcs.push_back(s.service);
+  }
+  std::vector<ServiceStats> per_shard(svcs.size());
+  for (usize i = 0; i < svcs.size(); ++i) {
+    if (svcs[i]) per_shard[i] = svcs[i]->stats();
+  }
+  {
+    std::lock_guard g(mu_);
+    c.shards = slots_.size();
+    c.active = router_.num_active();
+    for (usize i = 0; i < slots_.size(); ++i) {
+      if (auto it = retired_stats_.find(static_cast<u32>(i));
+          it != retired_stats_.end()) {
+        per_shard[i] = it->second;  // final snapshot of a drained shard
+      }
+    }
     c.jobs_per_shard = jobs_per_shard_;
     c.spilled = spilled_;
     c.rejected_cluster_wide = rejected_cluster_wide_;
+    c.held_now = hold_.size();
+    c.held_total = held_total_;
+    c.held_cancelled = held_cancelled_;
+    c.held_rejected = held_rejected_;
+    c.stolen = stolen_;
+    c.migrated = migrated_;
+    c.shards_added = shards_added_;
+    c.shards_drained = shards_drained_;
+    c.cluster_records = records_.size();
   }
+  c.per_shard = std::move(per_shard);
   c.io.reset(0);
   double max_window = 0;
   for (const ServiceStats& s : c.per_shard) {
@@ -164,6 +728,12 @@ ClusterStats Cluster::stats() const {
                             s.io.disk_writes.end());
     c.blocks_per_shard.push_back(s.io.total_blocks());
   }
+  // Hold-queue terminals never reached a shard; parked jobs have not
+  // yet: account them cluster-side so submitted = terminal sums + live.
+  c.submitted += c.held_now + c.held_cancelled + c.held_rejected;
+  c.cancelled += c.held_cancelled;
+  c.rejected += c.held_rejected;
+  c.retained += c.cluster_records;
   if (c.completed > 0 && max_window > 0) {
     c.jobs_per_sec = static_cast<double>(c.completed) / max_window;
   }

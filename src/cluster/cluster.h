@@ -1,31 +1,54 @@
-// pdm::Cluster — sharded multi-context serving.
+// pdm::Cluster — elastic sharded multi-context serving.
 //
 // One SortService is one machine's worth of shared resources: one disk
 // array, one memory budget, one worker pool. A Cluster owns N such shards
 // — each with its own DiskBackend (stamped out by a BackendFactory), its
 // own DiskAllocator, MemoryBudget and workers — behind a ShardRouter that
 // places incoming jobs by policy (round-robin / power-of-two-choices
-// least-loaded / locality hash). Shards share nothing, so jobs on
-// different shards never contend for disks, allocator cursors, budget or
-// the service mutex; routing multiplies jobs/sec while every job's pass
-// count stays exactly its single-shard value (the paper's bounds are
-// per-array properties — see bench_e16_cluster_routing).
+// least-loaded / consistent-hash locality ring). Shards share nothing, so
+// jobs on different shards never contend for disks, allocator cursors,
+// budget or the service mutex; routing multiplies jobs/sec while every
+// job's pass count stays exactly its single-shard value (the paper's
+// bounds are per-array properties — see bench_e16_cluster_routing).
 //
-// Overflow spill: a job whose memory carve can never fit its preferred
-// shard's budget is retried on the least-loaded shard where it does fit
-// before being rejected cluster-wide, so heterogeneous shards (one big-
-// memory shard among small ones) serve oversized tenants without pinning
-// every job to the big shard.
+// Elasticity: the topology is live. add_shard() stamps out a fresh
+// SortService through the retained BackendFactory and inserts it into
+// the router (the consistent-hash ring means only ~1/N locality keys
+// remap to it). drain_shard(id) retires a shard without losing a job:
+// placement stops, in-flight submissions settle, still-queued jobs are
+// extracted (their shard records go kMigrated) and re-parked in the
+// cluster hold queue for the surviving shards, running jobs finish, and
+// the shard's terminal records and final stats move into cluster-held
+// storage before the service is destroyed. Shard ids are slot indices
+// and are never reused.
 //
-// Job ids are cluster-global; wait/info/cancel/forget proxy to the owning
-// shard. ClusterStats rolls the per-shard ServiceStats up into cluster
-// totals with the same exact-sum I/O invariant the service established,
-// plus per-shard imbalance figures the benches gate on.
+// Hold queue + work stealing: a job whose placed shard cannot admit it
+// *right now* (no free worker or no memory headroom — ShardLoad::
+// fits_now) parks in a cluster-level queue ordered priority-desc /
+// EDF / FIFO instead of burying itself in the hot shard's local queue.
+// Every time any shard finishes a task it pumps the queue (SortService
+// capacity callback): the head jobs go to their home shard if it now
+// has headroom, else the least-loaded other shard that can ever fit
+// them steals them. Overflow spill (a job whose carve can NEVER fit its
+// preferred shard) still rescans for a fitting shard at placement, and
+// jobs no active shard can ever admit are rejected.
+//
+// Job ids are cluster-global; wait/info/cancel/forget proxy to the
+// owning shard, follow migrations, and fall back to cluster-held records
+// for retired shards and hold-queue terminals. ClusterStats rolls the
+// per-shard ServiceStats (live and retired) up into cluster totals with
+// the same exact-sum I/O invariant the service established, plus
+// per-shard imbalance and elasticity figures the benches gate on.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "cluster/cluster_stats.h"
@@ -42,6 +65,7 @@ struct ClusterConfig {
   /// io_depth_total are PER SHARD: a cluster on the same aggregate
   /// hardware as one big service divides them by the shard count.
   /// (ServiceConfig::shard_id is overwritten with the shard index.)
+  /// add_shard() without an explicit config also clones this template.
   ServiceConfig shard;
 
   /// Optional per-shard overrides (size must equal `shards` when
@@ -55,99 +79,221 @@ struct ClusterConfig {
   /// locality key, the router pins the key to its latest spill target
   /// instead of re-scanning every submission (0 disables); the target
   /// becomes the tenant's new preferred shard until it, too, stops
-  /// fitting (which re-pins on the next spill).
+  /// fitting (which re-pins on the next spill) or is drained (which
+  /// dissolves the pin).
   u32 spill_promote_after = 3;
+
+  /// Virtual nodes per shard on the kLocalityHash consistent-hash ring;
+  /// more vnodes = more uniform shard shares and remap fractions closer
+  /// to 1/N (relative spread ~1/sqrt(vnodes)), at O(vnodes * shards)
+  /// ring memory.
+  u32 ring_vnodes = 256;
+
+  /// Retention for cluster-held terminal records (retired shards' jobs
+  /// and hold-queue terminals): keep at most this many, FIFO-evicted
+  /// (0 = unbounded, matching ServiceConfig::retain_terminal_max).
+  /// Lookups of an evicted id throw, exactly like shard-side retention.
+  usize retain_cluster_records_max = 0;
+
+  /// Cluster hold queue with work stealing: park jobs their placed shard
+  /// lacks the headroom to start now and let other shards steal them
+  /// (see the class comment). Off restores strict PR 3 placement —
+  /// every job queues on the shard the router picked, however hot.
+  /// Drain-time migration uses the queue regardless (migrated jobs
+  /// dispatch as soon as any shard can take them).
+  bool hold_queue = true;
 };
 
 class Cluster {
  public:
-  /// Calls `make_backend(shard)` once per shard; shards start their
-  /// workers immediately.
+  /// Calls `make_backend(shard)` once per shard (and again for every
+  /// add_shard); shards start their workers immediately.
   Cluster(BackendFactory make_backend, ClusterConfig cfg);
+
+  /// Destroys the shards (joining their workers). Jobs still parked in
+  /// the hold queue are dropped — drain() first if you care.
+  ~Cluster();
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
   /// Routes and submits a sort job (same contract as SortService::submit,
   /// plus placement). Returns a cluster-global job id immediately. Only
-  /// placement and id registration serialize on the cluster mutex; the
-  /// shard submit itself (staging the closure, admission checks) runs
+  /// placement and id registration serialize on the cluster mutex; a
+  /// direct shard submit (the common, headroom-available case) runs
   /// outside it, so submitters scale with the shards.
   template <Record R, class Cmp = std::less<R>>
   JobId submit(SortJobSpec spec, std::vector<R> data, Cmp cmp = {},
                std::function<void(const SortResult<R>&)> on_complete = {}) {
-    // Load snapshots are taken outside the router lock (each one briefly
-    // takes its shard's mutex).
-    std::vector<ShardLoad> loads = shard_loads();
-    u32 shard = 0;
-    {
-      std::lock_guard g(mu_);
-      shard = place_locked(spec, sizeof(R), data.size(), loads);
-    }
-    const JobId local = shards_[shard]->submit<R>(
-        std::move(spec), std::move(data), cmp, std::move(on_complete));
-    std::lock_guard g(mu_);
-    const JobId id = next_id_++;
-    jobs_.emplace(id, Placement{shard, local});
-    ++jobs_per_shard_[shard];
-    maybe_prune_locked();
-    return id;
+    return submit_prepared(SortService::prepare<R>(
+        std::move(spec), std::move(data), cmp, std::move(on_complete)));
   }
 
+  /// Type-erased submission (see SortService::prepare): routing,
+  /// headroom probe, hold-queue parking and id registration.
+  JobId submit_prepared(PreparedJob job);
+
+  /// Adds a live shard built from the config template (or an explicit
+  /// one) and the retained BackendFactory; returns its id. The new shard
+  /// joins the router — ~1/N of locality keys remap to it — and
+  /// immediately steals any parked backlog it can admit.
+  u32 add_shard();
+  u32 add_shard(ServiceConfig sc);
+
+  /// Retires shard `id` without losing a job: stops placements, migrates
+  /// its still-queued jobs into the hold queue (they re-place on the
+  /// surviving shards), lets running jobs finish, snapshots its terminal
+  /// records and final stats into cluster-held storage, and destroys the
+  /// service. Blocks until retirement completes. Topology changes
+  /// serialize against each other; the last active shard cannot be
+  /// drained.
+  void drain_shard(u32 id);
+
+  bool shard_active(u32 id) const;
+  std::vector<u32> active_shards() const;
+
   /// Blocks until the job is terminal; returns its record (JobInfo::id is
-  /// the cluster id, JobInfo::shard the serving shard). Like the service,
-  /// throws for ids whose record the shard's retention policy already
-  /// dropped — size the shards' retention to cover the waiting window.
+  /// the cluster id, JobInfo::shard the serving shard). Follows hold-
+  /// queue parking and drain migrations to wherever the job ends up.
+  /// Like the service, throws for ids whose record the shard's retention
+  /// policy already dropped — size the shards' retention to cover the
+  /// waiting window.
   JobInfo wait(JobId id);
 
   /// Snapshot of one job (throws on unknown or retention-evicted id).
+  /// Held jobs read as kQueued on their placed shard.
   JobInfo info(JobId id) const;
 
-  /// Cancels on the owning shard (same semantics as SortService::cancel).
+  /// Cancels the job wherever it currently is: in the hold queue (goes
+  /// terminal immediately, cluster-side), or on its shard (same
+  /// semantics as SortService::cancel). Follows migrations.
   bool cancel(JobId id);
 
-  /// Drops a terminal job's record on its shard and the cluster mapping.
-  /// Also returns true (and drops the mapping) when the shard's retention
-  /// policy already evicted the record; false only while the job is still
-  /// queued or running.
+  /// Drops a terminal job's record — on its shard, or from cluster-held
+  /// storage for retired-shard and hold-queue terminals. Also returns
+  /// true (and drops the mapping) when the shard's retention policy
+  /// already evicted the record; false only while the job is still
+  /// queued, held or running.
   bool forget(JobId id);
 
-  /// Blocks until every shard is idle.
+  /// Blocks until the hold queue is empty and every active shard is idle.
   void drain();
 
   ClusterStats stats() const;
 
-  usize num_shards() const noexcept { return shards_.size(); }
-  SortService& shard(usize i) { return *shards_.at(i); }
+  /// Slots ever created, including retired ones (shard ids are stable).
+  usize num_shards() const;
+  /// The live service on an active (or draining) slot; throws for
+  /// retired slots. The reference stays valid until drain_shard(i)
+  /// retires the slot — do not race the two (waiters that entered via
+  /// wait()/info() are safe; this raw handle is an inspection hook).
+  SortService& shard(usize i);
+  /// Placement/topology introspection (ring, pins, active set). The
+  /// router mutates under the cluster mutex on every placement and
+  /// topology change; read it only while the cluster is quiescent
+  /// (tests, telemetry after drain()).
   const ShardRouter& router() const noexcept { return router_; }
 
-  /// The shard a submitted job was placed on (throws on unknown id).
+  /// The shard a submitted job is currently placed on (throws on unknown
+  /// id); kHeldShard while it is parked in the hold queue.
   u32 shard_of(JobId id) const;
 
+  static constexpr u32 kHeldShard = std::numeric_limits<u32>::max();
+
  private:
+  using Clock = std::chrono::steady_clock;
+
+  enum class SlotState { kActive, kDraining, kRetired };
+
+  struct Slot {
+    std::shared_ptr<SortService> service;  // null once retired
+    SlotState state = SlotState::kActive;
+    u64 in_flight_submits = 0;  // direct submits between unlock/relock
+  };
+
   struct Placement {
-    u32 shard = 0;
+    u32 shard = kHeldShard;  // kHeldShard = parked in the hold queue
     JobId local = 0;
   };
 
+  struct HeldJob {
+    JobId id = 0;   // cluster id
+    u32 home = 0;   // placed shard that lacked headroom (re-routed if
+                    // the home is drained before dispatch)
+    PreparedJob job;
+    Clock::time_point t_submit;
+    Clock::time_point deadline_abs = Clock::time_point::max();
+  };
+
+  u32 make_shard_locked_id();
+  std::shared_ptr<SortService> make_service(u32 id, ServiceConfig sc);
   std::vector<ShardLoad> shard_loads() const;
-  u32 place_locked(const SortJobSpec& spec, usize record_bytes, u64 n,
-                   std::span<const ShardLoad> loads);
+
+  struct PlaceResult {
+    u32 shard = 0;
+    bool admissible = false;  // false: no active shard can ever fit it
+    usize carve = 0;          // admission carve on `shard` (0 on reject)
+  };
+  PlaceResult place_locked(const SortJobSpec& spec, usize record_bytes,
+                           u64 n, std::span<const ShardLoad> loads);
+
+  /// Dispatches every held job some active shard has headroom for (in
+  /// queue order; home shard first, else steal to the least-loaded
+  /// fitting shard), and cluster-rejects jobs no active shard can ever
+  /// admit. Called on submit-park, capacity-freed callbacks, add_shard
+  /// and migration.
+  void pump_locked();
+  void hold_insert_locked(HeldJob h);
+  void on_capacity_freed();
+  /// Stores a cluster-held terminal record, FIFO-evicting past
+  /// ClusterConfig::retain_cluster_records_max.
+  void add_record_locked(JobId id, JobInfo rec);
+
+  static JobInfo held_snapshot(const HeldJob& h, JobState state);
+  static bool held_before(const HeldJob& a, const HeldJob& b);
   Placement placement_of(JobId id) const;
   /// Every kPruneInterval submissions, drops mappings whose shard record
   /// is gone (forgotten or retention-evicted) so a long-lived cluster's
   /// id map stays bounded alongside the shards' own retention.
   void maybe_prune_locked();
 
-  std::vector<std::unique_ptr<SortService>> shards_;
+  BackendFactory make_backend_;
+  ClusterConfig cfg_;
 
+  // mu_ is declared before the slots so it outlives the services during
+  // destruction: shard workers may still call on_capacity_freed() (which
+  // locks mu_ and observes stopping_) until their service joins them.
   mutable std::mutex mu_;
+  // mutable: info() is a const snapshot but may briefly wait out a
+  // migration race.
+  mutable std::condition_variable place_cv_;
+  std::mutex topo_mu_;                // serializes add_shard/drain_shard
+
+  std::vector<Slot> slots_;
   ShardRouter router_;
   std::map<JobId, Placement> jobs_;
+  /// Cluster-held terminal records: jobs cancelled or rejected out of
+  /// the hold queue, and every job of a retired shard. Bounded by
+  /// retain_cluster_records_max via the insertion-order FIFO (entries
+  /// may be stale after forget()).
+  std::map<JobId, JobInfo> records_;
+  std::deque<JobId> record_fifo_;
+  std::vector<HeldJob> hold_;  // sorted: priority desc, EDF, id asc
+  /// Final ServiceStats snapshot of each retired slot (retained zeroed —
+  /// those records live in records_ now).
+  std::map<u32, ServiceStats> retired_stats_;
   JobId next_id_ = 1;
+  bool stopping_ = false;
   std::vector<u64> jobs_per_shard_;
   u64 spilled_ = 0;
   u64 rejected_cluster_wide_ = 0;
+  u64 held_total_ = 0;
+  u64 held_cancelled_ = 0;
+  u64 held_rejected_ = 0;
+  u64 stolen_ = 0;
+  u64 migrated_ = 0;
+  u64 shards_added_ = 0;
+  u64 shards_drained_ = 0;
   u64 submits_since_prune_ = 0;
   static constexpr u64 kPruneInterval = 1024;
 };

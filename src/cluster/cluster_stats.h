@@ -16,9 +16,13 @@
 namespace pdm {
 
 struct ClusterStats {
-  usize shards = 0;
+  usize shards = 0;  // slots ever created, retired ones included
+  usize active = 0;  // currently active (placeable) shards
 
-  /// Sums of the per-shard lifetime counters.
+  /// Sums of the per-shard lifetime counters (live shards at their
+  /// current values, retired shards at their final snapshot), plus the
+  /// cluster-side hold-queue terminals — so submitted always equals
+  /// completed + failed + cancelled + rejected + still-live jobs.
   u64 submitted = 0;
   u64 completed = 0;
   u64 failed = 0;
@@ -33,6 +37,24 @@ struct ClusterStats {
   /// admit them, and jobs no shard could admit (a subset of `rejected`).
   u64 spilled = 0;
   u64 rejected_cluster_wide = 0;
+
+  /// Hold queue + work stealing: jobs currently parked, jobs that ever
+  /// parked, parked jobs cancelled/rejected before reaching a shard,
+  /// and held jobs dispatched to a shard other than their placed one.
+  u64 held_now = 0;
+  u64 held_total = 0;
+  u64 held_cancelled = 0;
+  u64 held_rejected = 0;
+  u64 stolen = 0;
+
+  /// Elasticity: queued jobs moved off a draining shard, and lifetime
+  /// topology changes. cluster_records counts terminal records held at
+  /// cluster level (retired shards' jobs + hold-queue terminals),
+  /// included in `retained`.
+  u64 migrated = 0;
+  u64 shards_added = 0;
+  u64 shards_drained = 0;
+  u64 cluster_records = 0;
 
   /// Exact sum of the per-shard SharedIoTotals snapshots.
   IoStats io;

@@ -1,5 +1,7 @@
 #include "cluster/shard_router.h"
 
+#include <algorithm>
+
 namespace pdm {
 
 RoutePolicy route_policy_from_name(const std::string& name) {
@@ -19,13 +21,40 @@ u64 locality_hash(const std::string& key) {
   return h;
 }
 
-ShardRouter::ShardRouter(usize shards, RoutePolicy policy, u64 seed)
-    : shards_(shards), policy_(policy), rng_(seed) {
+ShardRouter::ShardRouter(usize shards, RoutePolicy policy, u64 seed,
+                         u32 ring_vnodes)
+    : policy_(policy), ring_(ring_vnodes), rng_(seed) {
   PDM_CHECK(shards > 0, "router needs at least one shard");
+  active_.reserve(shards);
+  for (u32 i = 0; i < shards; ++i) {
+    active_.push_back(i);
+    ring_.add(i);
+  }
+}
+
+void ShardRouter::add_shard(u32 id) {
+  PDM_CHECK(!is_active(id), "router: shard already active");
+  active_.insert(std::lower_bound(active_.begin(), active_.end(), id), id);
+  ring_.add(id);
+}
+
+void ShardRouter::remove_shard(u32 id) {
+  PDM_CHECK(is_active(id), "router: shard not active");
+  PDM_CHECK(active_.size() > 1, "router: cannot remove the last shard");
+  active_.erase(std::lower_bound(active_.begin(), active_.end(), id));
+  ring_.remove(id);
+  // Pins and streaks aimed at the leaving shard dissolve; the tenants
+  // re-learn their homes on the shrunken topology.
+  std::erase_if(sticky_,
+                [&](const auto& kv) { return kv.second.target == id; });
+}
+
+bool ShardRouter::is_active(u32 id) const {
+  return std::binary_search(active_.begin(), active_.end(), id);
 }
 
 u32 ShardRouter::round_robin() {
-  return static_cast<u32>(rr_++ % shards_);
+  return active_[static_cast<usize>(rr_++ % active_.size())];
 }
 
 void ShardRouter::note_spill(const std::string& key, u32 to_shard) {
@@ -48,30 +77,36 @@ void ShardRouter::note_preferred_ok(const std::string& key) {
 std::optional<u32> ShardRouter::pinned_shard(const std::string& key) const {
   auto it = sticky_.find(key);
   if (it == sticky_.end() || !it->second.pinned) return std::nullopt;
+  if (!is_active(it->second.target)) return std::nullopt;
   return it->second.target;
 }
 
 u32 ShardRouter::place(const SortJobSpec& spec,
                        std::span<const ShardLoad> loads) {
-  PDM_CHECK(loads.size() == shards_,
-            "router: loads snapshot does not match the shard count");
-  if (shards_ == 1) return 0;
+  PDM_CHECK(!active_.empty(), "router: no active shards");
+  PDM_CHECK(loads.size() > active_.back(),
+            "router: loads snapshot does not cover the active shards");
   if (auto pinned = pinned_shard(spec.locality_key)) return *pinned;
+  if (active_.size() == 1) return active_.front();
   switch (policy_) {
     case RoutePolicy::kRoundRobin:
       return round_robin();
     case RoutePolicy::kLeastLoaded: {
-      // Power of two choices; distinct samples, ties to the first.
-      const u32 a = static_cast<u32>(rng_.below(shards_));
-      u32 b = static_cast<u32>(rng_.below(shards_ - 1));
-      if (b >= a) ++b;
+      // Power of two choices over the active list; distinct samples,
+      // ties to the first.
+      const usize n = active_.size();
+      const usize ia = static_cast<usize>(rng_.below(n));
+      usize ib = static_cast<usize>(rng_.below(n - 1));
+      if (ib >= ia) ++ib;
+      const u32 a = active_[ia];
+      const u32 b = active_[ib];
       return loads[b].score() < loads[a].score() ? b : a;
     }
     case RoutePolicy::kLocalityHash:
       if (spec.locality_key.empty()) return round_robin();
-      return static_cast<u32>(locality_hash(spec.locality_key) % shards_);
+      return ring_.route(locality_hash(spec.locality_key));
   }
-  return 0;
+  return active_.front();
 }
 
 }  // namespace pdm

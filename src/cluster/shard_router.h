@@ -12,10 +12,20 @@
 //    the one with the lower ShardLoad::score() (queue depth + reserved-
 //    memory fraction). Near-optimal balance at O(1) cost, and sampling
 //    avoids the stampede of every router chasing one idle shard.
-//  - kLocalityHash: stable placement by SortJobSpec::locality_key, so a
-//    returning tenant lands where its plan-cache entries and (for file
-//    backends) page-cache pages are still warm. Jobs without a key fall
-//    back to round-robin.
+//  - kLocalityHash: stable placement by SortJobSpec::locality_key on a
+//    consistent-hash ring (HashRing, virtual nodes), so a returning
+//    tenant lands where its plan-cache entries and (for file backends)
+//    page-cache pages are still warm. Jobs without a key fall back to
+//    round-robin.
+//
+// The router owns the cluster's live topology: shards are added and
+// removed at runtime (add_shard / remove_shard) and every policy places
+// over the *active* set only. The locality ring is the reason this is
+// cheap — a topology change remaps only the ~1/N of keys whose arcs the
+// joining shard claims (or the leaving shard releases); everyone else
+// keeps their warm shard. Load snapshots stay indexed by shard id (slot),
+// covering retired slots with placeholders, so ids never shift under a
+// drain.
 //
 // Sticky spill-back: a keyed tenant whose preferred shard keeps refusing
 // its jobs (admission carve above the shard budget) spills on every
@@ -24,22 +34,25 @@
 // router pins that key to its latest spill target: subsequent placements
 // go there directly (any policy), no re-scan — the spill target becomes
 // the tenant's new preferred home. If the pinned shard later stops
-// fitting, the next spill re-pins to the new target. A streak that has
-// not yet promoted resets when the tenant fits its policy-preferred
-// shard. The owning Cluster reports spills/successes via note_spill()/
-// note_preferred_ok().
+// fitting, the next spill re-pins to the new target; if it is drained
+// from the cluster, the pin dissolves and the tenant re-learns. A streak
+// that has not yet promoted resets when the tenant fits its
+// policy-preferred shard. The owning Cluster reports spills/successes via
+// note_spill()/note_preferred_ok().
 //
 // The router is a placement function over a loads snapshot plus a little
-// mixing state (round-robin cursor, RNG, sticky map); it is NOT
-// thread-safe — the owning Cluster serializes placement under its own
-// mutex.
+// mixing state (round-robin cursor, RNG, sticky map, ring); it is NOT
+// thread-safe — the owning Cluster serializes placement and topology
+// changes under its own mutex.
 #pragma once
 
 #include <map>
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "cluster/hash_ring.h"
 #include "service/service_stats.h"
 #include "service/sort_job.h"
 #include "util/rng.h"
@@ -71,13 +84,30 @@ u64 locality_hash(const std::string& key);
 
 class ShardRouter {
  public:
-  ShardRouter(usize shards, RoutePolicy policy, u64 seed = 1);
+  /// "No shard" sentinel returned by the scans below.
+  static constexpr u32 kNone = 0xffffffffu;
+
+  /// Starts with shards 0..shards-1 active. `ring_vnodes` is the virtual
+  /// node count per shard on the locality ring (see HashRing).
+  ShardRouter(usize shards, RoutePolicy policy, u64 seed = 1,
+              u32 ring_vnodes = 256);
 
   RoutePolicy policy() const noexcept { return policy_; }
 
-  /// Preferred shard for `spec` given the current loads (loads.size() must
-  /// equal the shard count). A key pinned by sticky spill-back overrides
-  /// the policy.
+  /// Topology: shard ids are slot indices assigned by the cluster and
+  /// never reused. Adding inserts the id into the active set and the
+  /// ring; removing drops it (and dissolves sticky pins that target it).
+  void add_shard(u32 id);
+  void remove_shard(u32 id);
+  bool is_active(u32 id) const;
+  const std::vector<u32>& active() const noexcept { return active_; }
+  usize num_active() const noexcept { return active_.size(); }
+  const HashRing& ring() const noexcept { return ring_; }
+
+  /// Preferred shard for `spec` given the current loads. `loads` is
+  /// indexed by shard id and must cover every active id (retired slots
+  /// may hold placeholders). A key pinned by sticky spill-back overrides
+  /// the policy while its target is active.
   u32 place(const SortJobSpec& spec, std::span<const ShardLoad> loads);
 
   /// Consecutive spills of one locality key before its placement sticks
@@ -94,20 +124,22 @@ class ShardRouter {
   /// resets its spill streak and clears any pin.
   void note_preferred_ok(const std::string& key);
 
-  /// The shard `key` is currently pinned to, if any.
+  /// The active shard `key` is currently pinned to, if any (a pin whose
+  /// target was drained reads as no pin).
   std::optional<u32> pinned_shard(const std::string& key) const;
 
-  /// Lowest-score shard for which `admissible(shard)` holds, excluding
-  /// `exclude` (pass >= shard count to exclude nothing). Returns the shard
-  /// count when no shard qualifies. This is the overflow-spill scan: a
-  /// full scan, not a sample — spills are rare and worth the extra looks.
+  /// Lowest-score active shard for which `admissible(shard)` holds,
+  /// excluding `exclude` (pass kNone to exclude nothing). Returns kNone
+  /// when no shard qualifies. This is the overflow-spill / work-steal
+  /// scan: a full scan, not a sample — these are rare and worth the
+  /// extra looks.
   template <class Pred>
   u32 least_loaded_where(std::span<const ShardLoad> loads, u32 exclude,
                          Pred admissible) const {
-    u32 best = static_cast<u32>(loads.size());
-    for (u32 i = 0; i < loads.size(); ++i) {
+    u32 best = kNone;
+    for (u32 i : active_) {
       if (i == exclude || !admissible(i)) continue;
-      if (best == loads.size() || loads[i].score() < loads[best].score()) {
+      if (best == kNone || loads[i].score() < loads[best].score()) {
         best = i;
       }
     }
@@ -123,8 +155,9 @@ class ShardRouter {
 
   u32 round_robin();
 
-  usize shards_;
+  std::vector<u32> active_;  // sorted ascending
   RoutePolicy policy_;
+  HashRing ring_;
   u64 rr_ = 0;
   Rng rng_;
   u32 spill_promote_after_ = 0;

@@ -3,8 +3,13 @@
 // A pdm::Cluster owns N independent SortService shards, each over its own
 // DiskBackend; the factory is called once per shard with the shard index
 // so file-backed shards get distinct directories and memory-backed shards
-// share one latency/stream model. Factories are plain std::functions, so
-// benches and tests can also hand the cluster arbitrary custom backends.
+// share one latency/stream model. The cluster retains the factory for
+// its whole lifetime: every live Cluster::add_shard() calls it again
+// with a fresh index (shard ids are slot indices and are never reused,
+// even after drain_shard retires one — so a file-backed shard's
+// directory is never resurrected under a new tenant's feet). Factories
+// are plain std::functions, so benches and tests can also hand the
+// cluster arbitrary custom backends.
 #pragma once
 
 #include <functional>

@@ -34,6 +34,12 @@ struct ServiceStats {
   u64 plan_cache_hits = 0;
   u64 plan_cache_misses = 0;
 
+  /// Wall-clock calibration of the deadline-admission estimate: EMA of
+  /// observed run seconds over model-predicted seconds across completed
+  /// jobs (0 = no samples yet, estimates taken at face value). >1 means
+  /// the backend is slower than the CostModel believes.
+  double deadline_cal = 0;
+
   double queue_p50_s = 0;  // over recent jobs that reached a worker
   double queue_p99_s = 0;
   double queue_max_s = 0;
@@ -59,6 +65,7 @@ struct ShardLoad {
   usize reserved_bytes = 0;  // admission reservations currently held
   usize budget_limit = 0;    // the shard's total memory budget
   usize depth_in_use = 0;    // granted async pipeline depth
+  usize workers = 0;         // the shard's worker-pool size
 
   /// Scalar used to compare shards: in-flight work plus the reserved
   /// memory fraction, so a shard with free workers but a nearly-exhausted
@@ -69,6 +76,16 @@ struct ShardLoad {
                            : static_cast<double>(reserved_bytes) /
                                  static_cast<double>(budget_limit);
     return static_cast<double>(queued + running) + mem;
+  }
+
+  /// Admission-headroom probe: could the shard start a job with this
+  /// memory carve right now — a free worker AND room in the budget? The
+  /// cluster hold queue parks jobs that fail this and lets shards that
+  /// pass it steal them, instead of burying the job in a hot shard's
+  /// local queue.
+  bool fits_now(usize carve) const {
+    return queued + running < workers &&
+           reserved_bytes + carve <= budget_limit;
   }
 };
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -26,6 +27,9 @@ enum class JobState {
   kFailed,     // threw (infeasible plan, I/O error, budget bug)
   kCancelled,  // cancelled while still queued
   kRejected,   // admission control: can never be staged in this service
+  kMigrated,   // extracted off a draining shard; terminal HERE only — the
+               // owning cluster re-admits the job elsewhere, so a shard-
+               // level waiter seeing kMigrated must re-resolve placement
 };
 
 inline const char* job_state_name(JobState s) {
@@ -36,13 +40,15 @@ inline const char* job_state_name(JobState s) {
     case JobState::kFailed: return "failed";
     case JobState::kCancelled: return "cancelled";
     case JobState::kRejected: return "rejected";
+    case JobState::kMigrated: return "migrated";
   }
   return "?";
 }
 
 inline bool job_state_terminal(JobState s) {
   return s == JobState::kDone || s == JobState::kFailed ||
-         s == JobState::kCancelled || s == JobState::kRejected;
+         s == JobState::kCancelled || s == JobState::kRejected ||
+         s == JobState::kMigrated;
 }
 
 /// What a tenant submits alongside its dataset.
@@ -148,6 +154,21 @@ class PlanCache {
   std::map<Key, PlanEntry> cache_;
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
+};
+
+/// A type-erased, not-yet-admitted sort job: everything a SortService
+/// needs to admit, schedule and run it, independent of the record type.
+/// Built by SortService::prepare<R>() (which stages the typed dataset and
+/// comparator inside the closure); consumed by submit_prepared(). This is
+/// the unit of mobility in the cluster: hold-queue parking, work stealing
+/// and drain-time migration all move PreparedJobs between shards without
+/// caring what R is.
+struct PreparedJob {
+  SortJobSpec spec;
+  u64 n = 0;             // records in the dataset
+  usize record_bytes = 0;
+  u64 type_key = 0;      // typeid hash, for small-job batching affinity
+  std::function<void(struct JobExec&)> run;
 };
 
 /// Execution environment the service hands to a job's typed closure: the

@@ -215,15 +215,21 @@ JobId SortService::submit_impl(SortJobSpec spec, u64 n, usize record_bytes,
     // Backlog the job would queue behind, spread over the workers, plus
     // its own planned run time. Jobs whose shapes defeat estimation
     // contribute zero — the check stays conservative toward admission.
+    // Both terms are model time; the calibration EMA (observed wall
+    // seconds per modeled second on THIS shard's backend) rescales them
+    // so the check stays honest when CostModel and wall clock diverge.
     double backlog = 0;
     for (const Job* p : pending_) {
       if (queue_before(*p, *job)) backlog += p->est_run_s;
     }
-    const double wait = backlog / static_cast<double>(cfg_.workers);
-    if (wait + job->est_run_s > job->spec.deadline_s) {
+    const double cal =
+        cfg_.deadline_calibration && cal_ratio_ > 0 ? cal_ratio_ : 1.0;
+    const double wait = cal * backlog / static_cast<double>(cfg_.workers);
+    const double run = cal * job->est_run_s;
+    if (wait + run > job->spec.deadline_s) {
       return reject("deadline admission: estimated wait " +
                     std::to_string(wait) + "s + run " +
-                    std::to_string(job->est_run_s) +
+                    std::to_string(run) +
                     "s exceeds deadline of " +
                     std::to_string(job->spec.deadline_s) + "s");
     }
@@ -240,6 +246,46 @@ JobId SortService::submit_impl(SortJobSpec spec, u64 n, usize record_bytes,
   jobs_.emplace(id, std::move(job));
   work_cv_.notify_one();
   return id;
+}
+
+std::vector<SortService::ExtractedJob> SortService::extract_queued() {
+  std::vector<ExtractedJob> out;
+  std::lock_guard g(mu_);
+  out.reserve(pending_.size());
+  const auto now = Clock::now();
+  for (Job* raw : pending_) {
+    auto it = jobs_.find(raw->id);
+    PDM_ASSERT(it != jobs_.end(), "pending job without a record");
+    std::shared_ptr<Job> job = it->second;
+    ExtractedJob ex;
+    ex.local_id = job->id;
+    ex.t_submit = job->t_submit;
+    ex.job.spec = std::move(job->spec);
+    ex.job.n = job->n;
+    ex.job.record_bytes = job->record_bytes;
+    ex.job.type_key = job->type_key;
+    ex.job.run = std::move(job->run);
+    job->run = {};
+    // kMigrated is terminal only from this shard's point of view: any
+    // waiter (current or future) wakes, sees kMigrated and re-resolves
+    // placement with the cluster. The record stays as a tombstone — not
+    // counted by on_terminal_locked (the job is not done, it is
+    // leaving), zero I/O, dropped with the service at retirement.
+    job->state = JobState::kMigrated;
+    job->t_end = now;
+    // The job un-submits: it re-counts on whichever shard re-admits it,
+    // so cluster-level per-shard sums stay exact.
+    --submitted_;
+    out.push_back(std::move(ex));
+  }
+  pending_.clear();
+  done_cv_.notify_all();
+  return out;
+}
+
+void SortService::set_capacity_callback(std::function<void()> cb) {
+  std::lock_guard g(mu_);
+  capacity_cb_ = std::move(cb);
 }
 
 bool SortService::cancel(JobId id) {
@@ -284,6 +330,12 @@ bool SortService::forget(JobId id) {
   std::lock_guard g(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end() || !job_state_terminal(it->second->state)) {
+    return false;
+  }
+  if (it->second->state == JobState::kMigrated) {
+    // Migration tombstone: not a retained record (never counted by
+    // on_terminal_locked) — it belongs to the drain machinery, not to
+    // the caller.
     return false;
   }
   jobs_.erase(it);
@@ -399,6 +451,7 @@ ServiceStats SortService::stats() const {
   s.batches_run = batches_run_;
   s.plan_cache_hits = plans_.hits();
   s.plan_cache_misses = plans_.misses();
+  s.deadline_cal = cal_ratio_;
   s.peak_memory_bytes = budget_.peak();
   s.io = io_totals_.snapshot();
   if (!queue_samples_.empty()) {
@@ -432,6 +485,7 @@ ShardLoad SortService::load() const {
   l.reserved_bytes = budget_.current();
   l.budget_limit = budget_.limit();
   l.depth_in_use = depth_in_use_;
+  l.workers = cfg_.workers;
   return l;
 }
 
@@ -504,6 +558,15 @@ void SortService::worker_loop() {
     depth_in_use_ -= depth;
     work_cv_.notify_all();  // freed memory and depth: others may admit
     done_cv_.notify_all();
+    if (capacity_cb_) {
+      // Capacity freed: let the owning cluster pump its hold queue. The
+      // callback runs outside the service mutex — it takes the cluster
+      // mutex and then other shards' mutexes, never the reverse.
+      auto cb = capacity_cb_;
+      lock.unlock();
+      cb();
+      lock.lock();
+    }
   }
 }
 
@@ -604,6 +667,18 @@ void SortService::run_one(Job& job, PdmContext& ctx) {
     job.deadline_missed =
         job.spec.deadline_s > 0 &&
         seconds(job.t_end - job.t_submit) > job.spec.deadline_s;
+    if (cfg_.deadline_calibration && job.est_run_s > 0) {
+      // Observed wall seconds per modeled second, smoothed: the factor
+      // future deadline-admission estimates are scaled by.
+      const double run_s = seconds(job.t_end - job.t_start);
+      if (run_s > 0) {
+        const double r = run_s / job.est_run_s;
+        cal_ratio_ = cal_ratio_ == 0
+                         ? r
+                         : kCalibrationEma * r +
+                               (1.0 - kCalibrationEma) * cal_ratio_;
+      }
+    }
   } else {
     job.state = JobState::kFailed;
     job.error = std::move(error);

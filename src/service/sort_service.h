@@ -35,6 +35,7 @@
 //    snapshot a cluster router places by.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -108,6 +109,14 @@ struct ServiceConfig {
   /// backend is configured to simulate the same CostModel.
   bool deadline_admission = false;
 
+  /// Calibrate the deadline-admission estimate against observed wall
+  /// clock: an EMA of (actual run seconds / model-predicted seconds)
+  /// over completed jobs scales both the backlog and the run term, so
+  /// the check stays honest on real disks where CostModel time and wall
+  /// time diverge (ServiceStats::deadline_cal exposes the ratio). Only
+  /// consulted when deadline_admission is on.
+  bool deadline_calibration = true;
+
   /// Retention policy for terminal job records: keep at most this many
   /// (0 = unbounded) ...
   usize retain_terminal_max = 0;
@@ -138,17 +147,22 @@ class SortService {
   SortService(const SortService&) = delete;
   SortService& operator=(const SortService&) = delete;
 
-  /// Submits a sort job over `data` (moved in; freed as soon as the job
-  /// has staged it onto the disks). `on_complete`, if given, runs on the
-  /// worker thread right after the sort, while the job's output run and
-  /// context are still alive — read the output there. Returns the job id
-  /// immediately; rejected jobs get JobState::kRejected (never throw).
+  /// Stages a typed sort job into a type-erased PreparedJob without
+  /// admitting it anywhere: the dataset and comparator move into the run
+  /// closure (freed as soon as the job has staged the data onto whatever
+  /// shard's disks eventually run it). This is the mobile form the
+  /// cluster parks in its hold queue and migrates between shards; feed it
+  /// to submit_prepared() to admit it.
   template <Record R, class Cmp = std::less<R>>
-  JobId submit(SortJobSpec spec, std::vector<R> data, Cmp cmp = {},
-               std::function<void(const SortResult<R>&)> on_complete = {}) {
-    const u64 n = data.size();
+  static PreparedJob prepare(
+      SortJobSpec spec, std::vector<R> data, Cmp cmp = {},
+      std::function<void(const SortResult<R>&)> on_complete = {}) {
+    PreparedJob job;
+    job.n = data.size();
+    job.record_bytes = sizeof(R);
+    job.type_key = typeid(R).hash_code();
     auto payload = std::make_shared<std::vector<R>>(std::move(data));
-    auto run = [payload, cmp, cb = std::move(on_complete)](JobExec& ex) {
+    job.run = [payload, cmp, cb = std::move(on_complete)](JobExec& ex) {
       auto in = write_input_run<R>(ex.ctx, std::span<const R>(*payload));
       payload->clear();
       payload->shrink_to_fit();
@@ -165,9 +179,55 @@ class SortService {
       ex.ctx.check_cancelled();
       if (cb) cb(res);
     };
-    return submit_impl(std::move(spec), n, sizeof(R), typeid(R).hash_code(),
-                       std::move(run));
+    job.spec = std::move(spec);
+    return job;
   }
+
+  /// Submits a sort job over `data` (moved in; freed as soon as the job
+  /// has staged it onto the disks). `on_complete`, if given, runs on the
+  /// worker thread right after the sort, while the job's output run and
+  /// context are still alive — read the output there. Returns the job id
+  /// immediately; rejected jobs get JobState::kRejected (never throw).
+  template <Record R, class Cmp = std::less<R>>
+  JobId submit(SortJobSpec spec, std::vector<R> data, Cmp cmp = {},
+               std::function<void(const SortResult<R>&)> on_complete = {}) {
+    return submit_prepared(
+        prepare<R>(std::move(spec), std::move(data), cmp,
+                   std::move(on_complete)));
+  }
+
+  /// Admits a prepared job (see prepare()); same contract as submit().
+  JobId submit_prepared(PreparedJob job) {
+    return submit_impl(std::move(job.spec), job.n, job.record_bytes,
+                       job.type_key, std::move(job.run));
+  }
+
+  /// A still-queued job pulled back out of the service for migration,
+  /// with the local id it held here and its original submission time
+  /// (so the receiving shard can preserve wall-clock deadline
+  /// semantics).
+  struct ExtractedJob {
+    JobId local_id = 0;
+    PreparedJob job;
+    std::chrono::steady_clock::time_point t_submit;
+  };
+
+  /// Drain support: removes EVERY still-queued job (claimed and running
+  /// ones are untouched — they finish here) and returns them in queue
+  /// order as re-submittable PreparedJobs. Each extracted job's record
+  /// goes JobState::kMigrated and is dropped from this service — waiters
+  /// blocked on it wake with kMigrated and must re-resolve the job's
+  /// placement with the owning cluster. The shard's `submitted` lifetime
+  /// counter is decremented per extracted job (the job re-counts on
+  /// whichever shard re-admits it), keeping cluster-level sums exact.
+  std::vector<ExtractedJob> extract_queued();
+
+  /// Hook invoked (on a worker thread, outside the service mutex) each
+  /// time a finished task frees memory, a worker slot and pipeline
+  /// depth. The owning cluster uses it to pump its hold queue — the
+  /// event that drives work stealing. The callback must not call back
+  /// into wait()/drain() of this service.
+  void set_capacity_callback(std::function<void()> cb);
 
   /// Cancels a job. Queued jobs (including claimed-but-not-yet-started
   /// batch members) go terminal immediately; running jobs get their
@@ -288,6 +348,13 @@ class SortService {
   u64 deadline_missed_ = 0;
   u64 retained_ = 0;
   u64 evicted_ = 0;
+  /// EMA of observed/modeled run time for completed jobs (deadline
+  /// calibration); 0 until the first sample.
+  double cal_ratio_ = 0;
+  static constexpr double kCalibrationEma = 0.3;
+  /// Capacity-freed hook (cluster hold-queue pump); guarded by mu_,
+  /// invoked outside it.
+  std::function<void()> capacity_cb_;
   std::vector<double> queue_samples_;  // ring of recent queue latencies
   usize queue_samples_next_ = 0;
   static constexpr usize kQueueSampleCap = 4096;

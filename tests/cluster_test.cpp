@@ -36,6 +36,17 @@ SortJobSpec spec_of(std::string name, std::string locality_key = "",
   return s;
 }
 
+/// A locality key routing to `shard` on the cluster's consistent-hash
+/// ring (placement is ring-based since the elastic cluster, not modulo).
+std::string key_for_shard(const Cluster& cluster, u32 shard,
+                          std::string seed) {
+  std::string key = seed;
+  while (cluster.router().ring().route(locality_hash(key)) != shard) {
+    key += seed;
+  }
+  return key;
+}
+
 JobId submit_verified(Cluster& cluster, SortJobSpec spec,
                       std::vector<u64> data, std::atomic<int>& ok,
                       std::atomic<int>& bad) {
@@ -86,6 +97,9 @@ TEST(Cluster, LocalityHashIsStable)
   cfg.shards = 4;
   cfg.policy = RoutePolicy::kLocalityHash;
   cfg.shard.workers = 1;
+  // Policy behavior in isolation: no hold-queue stealing, so every job
+  // stays on its hash-placed shard however busy it is.
+  cfg.hold_queue = false;
   Cluster cluster(memory_backend_factory(kDisksPerShard, kBlockBytes), cfg);
   Rng rng(2);
   std::vector<JobId> tenant_a;
@@ -99,11 +113,11 @@ TEST(Cluster, LocalityHashIsStable)
         make_keys(2 * kMem, Dist::kUniform, rng)));
   }
   cluster.drain();
-  // Every job of a tenant landed on that tenant's (hash-stable) shard.
+  // Every job of a tenant landed on that tenant's (ring-stable) shard.
   const u32 shard_a =
-      static_cast<u32>(locality_hash("tenant-a") % cfg.shards);
+      cluster.router().ring().route(locality_hash("tenant-a"));
   const u32 shard_b =
-      static_cast<u32>(locality_hash("tenant-b") % cfg.shards);
+      cluster.router().ring().route(locality_hash("tenant-b"));
   for (JobId id : tenant_a) {
     EXPECT_EQ(cluster.shard_of(id), shard_a);
     EXPECT_EQ(cluster.info(id).shard, shard_a);
@@ -168,8 +182,7 @@ TEST(Cluster, SpillsToShardWithRoomBeforeRejecting)
   cfg.shard_configs[1].total_memory_bytes = usize{64} << 20;
   Cluster cluster(memory_backend_factory(kDisksPerShard, kBlockBytes), cfg);
   // A locality key that prefers the starved shard.
-  std::string key = "k";
-  while (locality_hash(key) % 2 != 0) key += "k";
+  const std::string key = key_for_shard(cluster, 0, "k");
   Rng rng(4);
   // Carve = 6 * 32Ki * 8B = 1.5 MiB: over shard 0's budget, fine on 1.
   SortJobSpec big = spec_of("big", key);
@@ -254,8 +267,7 @@ TEST(Cluster, StickySpillBackPinsRepeatedlySpillingTenant)
   cfg.shard_configs[1].workers = 1;
   cfg.shard_configs[1].total_memory_bytes = usize{64} << 20;  // roomy
   Cluster cluster(memory_backend_factory(kDisksPerShard, kBlockBytes), cfg);
-  std::string key = "k";
-  while (locality_hash(key) % 2 != 0) key += "k";
+  const std::string key = key_for_shard(cluster, 0, "k");
   Rng rng(9);
   // Every job of this tenant carves ~1.5 MiB: over shard 0's whole
   // budget, so its hash-preferred placement always spills.
@@ -284,8 +296,7 @@ TEST(Cluster, StickySpillBackPinsRepeatedlySpillingTenant)
   EXPECT_EQ(*cluster.router().pinned_shard(key), 1u);
   // An unrelated tenant whose (small) jobs fit its preferred shard 0 is
   // unaffected by the pin and never spills.
-  std::string key0 = "a";
-  while (locality_hash(key0) % 2 != 0) key0 += "a";
+  const std::string key0 = key_for_shard(cluster, 0, "a");
   const JobId other = cluster.submit<u64>(
       spec_of("other", key0), make_keys(kMem, Dist::kUniform, rng));
   EXPECT_EQ(cluster.shard_of(other), 0u);

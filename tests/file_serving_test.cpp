@@ -91,6 +91,60 @@ TEST(FileServing, ConcurrentJobsOverFileBackend)
   std::filesystem::remove_all(dir);
 }
 
+TEST(FileServing, DeadlineCalibrationLearnsWallClock)
+{
+  const std::string dir = "/tmp/pdmsort_cal_test";
+  {
+    auto backend =
+        std::make_shared<FileDiskBackend>(kDisks, kBlockBytes, dir);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.deadline_admission = true;  // calibration is on by default
+    // A cost model that over-prices this backend by orders of magnitude:
+    // model time says minutes per job, the real files take milliseconds.
+    // Uncalibrated deadline admission would turn away perfectly
+    // serviceable work.
+    cfg.cost.seek_s = 1.0;
+    cfg.cost.bytes_per_s = 1.0e3;
+    SortService svc(backend, cfg);
+    Rng rng(41);
+    // Uncalibrated, a 10 s deadline reads as unmeetable (model estimate
+    // is ~minutes) and the job is rejected up front.
+    SortJobSpec early = spec_of("early");
+    early.deadline_s = 10.0;
+    const JobInfo rejected = svc.wait(
+        svc.submit<u64>(early, make_keys(4 * kMem, Dist::kPermutation,
+                                         rng)));
+    EXPECT_EQ(rejected.state, JobState::kRejected);
+    EXPECT_NE(rejected.error.find("deadline admission"), std::string::npos);
+    // Training: undeadlined jobs of the same shape complete in wall-clock
+    // milliseconds, pulling the EMA of observed-over-modeled seconds far
+    // below 1.
+    std::atomic<int> ok{0}, bad{0};
+    for (int i = 0; i < 4; ++i) {
+      submit_verified(svc, spec_of("train" + std::to_string(i)),
+                      make_keys(4 * kMem, Dist::kPermutation, rng), ok, bad);
+    }
+    svc.drain();
+    EXPECT_EQ(ok.load(), 4);
+    EXPECT_EQ(bad.load(), 0);
+    const double cal = svc.stats().deadline_cal;
+    EXPECT_GT(cal, 0.0);
+    EXPECT_LT(cal, 0.01) << "file backend should run far under this model";
+    // Calibrated, the identical deadlined job is admitted — and makes its
+    // deadline comfortably.
+    SortJobSpec late = spec_of("late");
+    late.deadline_s = 10.0;
+    const JobInfo admitted = svc.wait(
+        svc.submit<u64>(late, make_keys(4 * kMem, Dist::kPermutation,
+                                        rng)));
+    EXPECT_EQ(admitted.state, JobState::kDone);
+    EXPECT_FALSE(admitted.deadline_missed);
+    EXPECT_EQ(svc.stats().rejected, 1u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(FileServing, ClusterOverPerShardFileArrays)
 {
   const std::string dir = "/tmp/pdmsort_file_cluster_test";
@@ -99,6 +153,9 @@ TEST(FileServing, ClusterOverPerShardFileArrays)
     cfg.shards = 2;
     cfg.policy = RoutePolicy::kLocalityHash;
     cfg.shard.workers = 2;
+    // Placement affinity in isolation: no hold-queue stealing, so both
+    // jobs of a tenant stay on the hash-placed shard however busy it is.
+    cfg.hold_queue = false;
     Cluster cluster(file_backend_factory(kDisks, kBlockBytes, dir), cfg);
     // Each shard got its own directory of disk files.
     EXPECT_TRUE(std::filesystem::exists(dir + "/shard000/disk000.bin"));
