@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   const u64 latency_us = cli.get_u64("latency_us", 200);
   const u64 num_jobs = cli.get_u64("jobs", 8);
   const double gate = cli.get_double("gate", 1.3);
-  const std::string json_out = cli.get("json_out", "BENCH_PR5.json");
+  const std::string json_out = cli.get("json_out", "BENCH_PR6.json");
 
   // The job mix: alternating medium (4M) and large (8M) u64 sorts, all
   // block- and M-aligned so the planner stays on the paper algorithms.

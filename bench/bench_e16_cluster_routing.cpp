@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   const double gate = cli.get_double("gate", 1.5);
   const double elastic_gate = cli.get_double("elastic_gate", 1.2);
   const bool file_arm = cli.get_u64("file_arm", 1) != 0;
-  const std::string json_out = cli.get("json_out", "BENCH_PR5.json");
+  const std::string json_out = cli.get("json_out", "BENCH_PR6.json");
 
   StreamModel stream;
   stream.seq_us = cli.get_u64("seq_us", 10);

@@ -32,6 +32,16 @@ Cluster::Cluster(BackendFactory make_backend, ClusterConfig cfg)
 }
 
 Cluster::~Cluster() {
+  // Coordinator threads first, before anything stops: they only wait on
+  // ordinary sub-jobs, which the still-live shards finish normally.
+  std::vector<std::thread> coords;
+  {
+    std::lock_guard g(mu_);
+    coords.swap(dist_threads_);
+  }
+  for (auto& t : coords) {
+    if (t.joinable()) t.join();
+  }
   {
     std::lock_guard g(mu_);
     stopping_ = true;  // pumps and new submissions stop
@@ -79,6 +89,10 @@ Cluster::PlaceResult Cluster::place_locked(const SortJobSpec& spec,
                                            usize record_bytes, u64 n,
                                            std::span<const ShardLoad> loads) {
   const bool was_pinned = router_.pinned_shard(spec.locality_key).has_value();
+  // A hard pin (distributed range jobs) must land on its target or
+  // nowhere: no spill scan, no sticky-spill bookkeeping.
+  const bool hard_pinned = spec.target_shard != SortJobSpec::kAnyShard &&
+                           router_.is_active(spec.target_shard);
   const u32 preferred = router_.place(spec, loads);
   usize carve = 0;  // of the last shard probed = the one returned
   auto fits_ever = [&](u32 i) {
@@ -89,8 +103,16 @@ Cluster::PlaceResult Cluster::place_locked(const SortJobSpec& spec,
   if (fits_ever(preferred)) {
     // A fit on the tenant's *policy-preferred* shard ends any spill
     // streak; a fit on its pinned spill target keeps the pin sticky.
-    if (!was_pinned) router_.note_preferred_ok(spec.locality_key);
+    if (!was_pinned && !hard_pinned) {
+      router_.note_preferred_ok(spec.locality_key);
+    }
     return {preferred, true, carve};
+  }
+  if (hard_pinned) {
+    // The pinned shard can never admit it and nothing else is allowed
+    // to: reject cluster-wide (the shard writes the rejection record).
+    ++rejected_cluster_wide_;
+    return {preferred, false, 0};
   }
   // Overflow spill: the preferred shard would reject this job outright
   // (its carve exceeds the whole shard budget). Retry on the least-loaded
@@ -171,10 +193,20 @@ void Cluster::pump_locked() {
                                                 h.job.record_bytes, h.job.n);
     };
     // A home that was drained re-routes once (and sticks, so repeated
-    // pumps don't re-roll round-robin state for the same job).
+    // pumps don't re-roll round-robin state for the same job). A hard
+    // pin on a drained shard dissolves back to router placement first
+    // (cannot happen to distributed ranges — their shards are fenced).
     if (!router_.is_active(h.home)) {
+      if (h.job.spec.target_shard != SortJobSpec::kAnyShard &&
+          !router_.is_active(h.job.spec.target_shard)) {
+        h.job.spec.target_shard = SortJobSpec::kAnyShard;
+      }
       h.home = router_.place(h.job.spec, loads);
     }
+    // A hard-pinned job dispatches to its pin or stays parked: no steal.
+    const bool hard_pinned =
+        h.job.spec.target_shard != SortJobSpec::kAnyShard &&
+        router_.is_active(h.job.spec.target_shard);
     u32 target = ShardRouter::kNone;
     usize target_carve = 0;
     bool fits_somewhere = false;
@@ -188,7 +220,7 @@ void Cluster::pump_locked() {
         }
       }
     }
-    if (target == ShardRouter::kNone) {
+    if (target == ShardRouter::kNone && !hard_pinned) {
       // Steal scan: the least-loaded other shard that can take it now
       // (or, with the hold queue disabled — migration-only mode — that
       // can ever take it).
@@ -340,6 +372,20 @@ void Cluster::drain_shard(u32 id) {
               "drain_shard: shard is not active");
     PDM_CHECK(router_.num_active() > 1,
               "drain_shard: cannot drain the last active shard");
+    // Graceful-shrink guard: a shard that owns an in-flight distributed
+    // range cannot retire — pinned ranges do not migrate. Checked under
+    // mu_ BEFORE any state changes (dist_begin assigns targets under the
+    // same mutex, so the fence cannot be raced), so a veto leaves the
+    // topology untouched.
+    for (const auto& [did, dj] : dist_jobs_) {
+      for (u32 owner : dj.info.range_shards) {
+        PDM_CHECK(owner != id,
+                  "drain_shard: shard owns an in-flight range of "
+                  "distributed job '" +
+                      dj.info.name + "' (id " + std::to_string(did) +
+                      "); distributed_wait() it before retiring the shard");
+      }
+    }
     slots_[id].state = SlotState::kDraining;
     router_.remove_shard(id);  // placement and pumps stop picking it
     // Direct submits that chose this shard before the drain settle
@@ -546,6 +592,11 @@ JobInfo Cluster::info(JobId id) const {
 }
 
 bool Cluster::cancel(JobId id) {
+  {
+    std::lock_guard g(mu_);
+    if (dist_records_.count(id) != 0) return false;  // terminal distributed
+  }
+  if (dist_cancel(id)) return true;
   std::unique_lock lock(mu_);
   for (;;) {
     if (records_.count(id) != 0) return false;  // already terminal
@@ -636,7 +687,8 @@ void Cluster::drain() {
   for (;;) {
     {
       std::unique_lock lock(mu_);
-      place_cv_.wait(lock, [&] { return hold_.empty(); });
+      place_cv_.wait(lock,
+                     [&] { return hold_.empty() && dist_jobs_.empty(); });
     }
     // Everything is dispatched; drain the active shards (outside mu_ —
     // capacity callbacks must be able to pump while we block).
@@ -649,10 +701,131 @@ void Cluster::drain() {
     }
     for (auto& s : svcs) s->drain();
     std::lock_guard g(mu_);
-    bool settled = hold_.empty();
+    bool settled = hold_.empty() && dist_jobs_.empty();
     for (const Slot& s : slots_) settled = settled && s.in_flight_submits == 0;
     if (settled) return;
   }
+}
+
+double Cluster::seconds_since(Clock::time_point t0) {
+  return seconds(Clock::now() - t0);
+}
+
+Cluster::DistBegin Cluster::dist_begin(const std::string& name,
+                                       const RangePartitionStats& pst) {
+  std::lock_guard g(mu_);
+  PDM_CHECK(!stopping_, "Cluster is shutting down");
+  PDM_CHECK(router_.num_active() > 0, "submit_distributed: no active shards");
+  DistBegin b;
+  b.id = next_id_++;
+  const std::vector<u32>& act = router_.active();
+  b.targets.reserve(pst.ranges);
+  for (u32 r = 0; r < pst.ranges; ++r) {
+    b.targets.push_back(act[r % act.size()]);
+  }
+  DistJob dj;
+  dj.info.id = b.id;
+  dj.info.name = name;
+  dj.info.state = JobState::kRunning;
+  dj.info.n = pst.n;
+  dj.info.oversample = pst.oversample;
+  dj.info.skew = pst.skew;
+  dj.info.range_shards = b.targets;
+  dj.info.sub_jobs.assign(pst.ranges, 0);
+  dj.info.range_records = pst.sizes;
+  dj.info.range_reports.resize(pst.ranges);
+  dist_jobs_.emplace(b.id, std::move(dj));
+  ++dist_submitted_;
+  return b;
+}
+
+void Cluster::dist_set_sub(JobId dist, u32 range, JobId sub) {
+  bool cancel_now = false;
+  {
+    std::lock_guard g(mu_);
+    auto it = dist_jobs_.find(dist);
+    PDM_ASSERT(it != dist_jobs_.end(), "dist_set_sub: unknown job");
+    it->second.info.sub_jobs[range] = sub;
+    cancel_now = it->second.cancel_requested;
+  }
+  // cancel() raced the submission loop: the latch covers the gap.
+  if (cancel_now) cancel(sub);
+}
+
+void Cluster::dist_spawn(JobId dist, std::function<void()> body) {
+  std::lock_guard g(mu_);
+  PDM_CHECK(!stopping_, "Cluster is shutting down");
+  PDM_ASSERT(dist_jobs_.count(dist) != 0, "dist_spawn: unknown job");
+  dist_threads_.emplace_back(std::move(body));
+}
+
+DistributedInfo Cluster::dist_seal(JobId dist, JobState fin,
+                                   std::vector<SortReport> reports,
+                                   std::string error, double wall_s) {
+  std::lock_guard g(mu_);
+  auto it = dist_jobs_.find(dist);
+  PDM_ASSERT(it != dist_jobs_.end(), "dist_seal: unknown job");
+  DistributedInfo& info = it->second.info;
+  info.state = fin;
+  if (reports.size() == info.range_reports.size()) {
+    info.range_reports = std::move(reports);
+  }
+  info.error = std::move(error);
+  info.wall_s = wall_s;
+  return info;
+}
+
+void Cluster::dist_publish(JobId dist) {
+  std::lock_guard g(mu_);
+  auto it = dist_jobs_.find(dist);
+  PDM_ASSERT(it != dist_jobs_.end(), "dist_publish: unknown job");
+  DistributedInfo info = std::move(it->second.info);
+  switch (info.state) {
+    case JobState::kDone: ++dist_completed_; break;
+    case JobState::kCancelled: ++dist_cancelled_; break;
+    default: ++dist_failed_; break;
+  }
+  dist_last_range_records_ = info.range_records;
+  dist_last_skew_ = info.skew;
+  dist_max_skew_ = std::max(dist_max_skew_, info.skew);
+  dist_jobs_.erase(it);
+  dist_records_.emplace(dist, std::move(info));
+  place_cv_.notify_all();  // distributed_wait()ers and drain()
+}
+
+bool Cluster::dist_cancel(JobId id) {
+  std::vector<JobId> subs;
+  {
+    std::lock_guard g(mu_);
+    auto it = dist_jobs_.find(id);
+    if (it == dist_jobs_.end()) return false;
+    it->second.cancel_requested = true;
+    for (JobId s : it->second.info.sub_jobs) {
+      if (s != 0) subs.push_back(s);
+    }
+  }
+  // Sub-job cancellation outside mu_ (cancel() relocks it). Best effort:
+  // ranges already past their last checkpoint finish regardless.
+  for (JobId s : subs) cancel(s);
+  return true;
+}
+
+DistributedInfo Cluster::distributed_wait(JobId id) {
+  std::unique_lock lock(mu_);
+  PDM_CHECK(dist_jobs_.count(id) != 0 || dist_records_.count(id) != 0,
+            "cluster: unknown distributed job id");
+  place_cv_.wait(lock, [&] { return dist_records_.count(id) != 0; });
+  return dist_records_.at(id);
+}
+
+DistributedInfo Cluster::distributed_info(JobId id) const {
+  std::lock_guard g(mu_);
+  if (auto r = dist_records_.find(id); r != dist_records_.end()) {
+    return r->second;
+  }
+  auto it = dist_jobs_.find(id);
+  PDM_CHECK(it != dist_jobs_.end(), "cluster: unknown distributed job id");
+  return it->second.info;
 }
 
 u32 Cluster::shard_of(JobId id) const {
@@ -702,6 +875,14 @@ ClusterStats Cluster::stats() const {
     c.shards_added = shards_added_;
     c.shards_drained = shards_drained_;
     c.cluster_records = records_.size();
+    c.distributed_jobs = dist_submitted_;
+    c.distributed_active = dist_jobs_.size();
+    c.distributed_completed = dist_completed_;
+    c.distributed_cancelled = dist_cancelled_;
+    c.distributed_failed = dist_failed_;
+    c.dist_range_records = dist_last_range_records_;
+    c.dist_skew = dist_last_skew_;
+    c.dist_skew_max = dist_max_skew_;
   }
   c.per_shard = std::move(per_shard);
   c.io.reset(0);

@@ -39,6 +39,20 @@
 // per-shard ServiceStats (live and retired) up into cluster totals with
 // the same exact-sum I/O invariant the service established, plus
 // per-shard imbalance and elasticity figures the benches gate on.
+//
+// One giant sort: submit_distributed<R>() sorts a dataset no single
+// shard could hold at one shard's wall clock divided by ~P. Sampled
+// splitters partition the input into P contiguous key ranges
+// (range_partition.h), each range is pinned to a shard
+// (SortJobSpec::target_shard) and submitted through the normal
+// hold-queue/placement path, each shard sorts its range locally at its
+// paper-bound pass count, the sorted ranges are exported over the extent
+// layer (extent_exchange.h) and concatenated in splitter order by a
+// per-job coordinator thread. While any range is in flight its shard is
+// fenced: drain_shard() on it throws (the graceful-shrink guard);
+// add_shard() mid-sort is always safe — ranges were already placed, the
+// newcomer just serves other traffic. cancel() on the distributed id
+// cancels every range sub-job.
 #pragma once
 
 #include <chrono>
@@ -49,11 +63,16 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster_stats.h"
+#include "cluster/distributed_sort.h"
+#include "cluster/range_partition.h"
 #include "cluster/shard_router.h"
 #include "pdm/backend_factory.h"
+#include "pdm/extent_exchange.h"
 #include "service/sort_service.h"
 
 namespace pdm {
@@ -110,8 +129,10 @@ class Cluster {
   /// add_shard); shards start their workers immediately.
   Cluster(BackendFactory make_backend, ClusterConfig cfg);
 
-  /// Destroys the shards (joining their workers). Jobs still parked in
-  /// the hold queue are dropped — drain() first if you care.
+  /// Destroys the shards (joining their workers). In-flight distributed
+  /// jobs are joined first (their sub-jobs run to completion on the
+  /// still-live shards); jobs still parked in the hold queue are then
+  /// dropped — drain() first if you care.
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -133,6 +154,130 @@ class Cluster {
   /// headroom probe, hold-queue parking and id registration.
   JobId submit_prepared(PreparedJob job);
 
+  /// One sort spanning the cluster (see the class comment): partitions
+  /// `data` into contiguous key ranges by sampled splitters, pins one
+  /// range per target shard, sorts each range locally with the paper's
+  /// small-pass algorithms, and concatenates the results in splitter
+  /// order. Returns a cluster-global id immediately; the id answers to
+  /// distributed_wait / distributed_info / cancel (NOT to wait/info —
+  /// those track the per-range sub-jobs, whose ids the info exposes).
+  /// `on_complete`, if given, runs on the coordinator thread with the
+  /// fully assembled output (empty unless the job completed).
+  ///
+  /// Requirements: data.size() % spec.mem_records == 0 (feasibility
+  /// rounding keeps every range a multiple of M so per-range plans stay
+  /// within the paper's pass bounds), and every target shard must be
+  /// able to admit a job of spec.mem_records (a pinned range is never
+  /// spilled; an unfittable pin fails that range and the job).
+  template <Record R, class Cmp = std::less<R>>
+  JobId submit_distributed(
+      SortJobSpec spec, std::vector<R> data, DistributedOptions opts = {},
+      Cmp cmp = {},
+      std::function<void(const DistributedSortResult<R>&)> on_complete = {}) {
+    PDM_CHECK(!data.empty(), "submit_distributed: empty dataset");
+    PDM_CHECK(spec.mem_records > 0,
+              "submit_distributed: SortJobSpec.mem_records must be > 0");
+    const auto t0 = Clock::now();
+    const u32 ranges = opts.ranges != 0
+                           ? opts.ranges
+                           : static_cast<u32>(active_shards().size());
+    RangePartitionStats pst;
+    auto parts = partition_ranges<R, Cmp>(std::span<const R>(data), ranges,
+                                          opts.oversample, spec.mem_records,
+                                          opts.sample_seed, cmp, &pst);
+    data.clear();
+    data.shrink_to_fit();
+    // Registers the job and fences its target shards against drains.
+    const DistBegin begun = dist_begin(spec.name, pst);
+    auto gathered = std::make_shared<std::vector<std::vector<R>>>(ranges);
+    std::vector<JobId> subs(ranges, 0);
+    try {
+      for (u32 r = 0; r < ranges; ++r) {
+        if (parts[r].empty()) continue;
+        SortJobSpec rs = spec;
+        rs.name = spec.name + "/range" + std::to_string(r);
+        rs.target_shard = begun.targets[r];
+        rs.locality_key.clear();
+        const u64 span = opts.exchange_span_blocks;
+        // The completion callback runs on the range's shard worker while
+        // its output run and context are alive: exporting there is the
+        // only window, and each range writes a distinct slot (the
+        // coordinator reads it only after wait() observes kDone).
+        PreparedJob pj = SortService::prepare<R>(
+            std::move(rs), std::move(parts[r]), cmp,
+            [gathered, r, span](const SortResult<R>& res) {
+              (*gathered)[r] = export_run<R>(res.output, span);
+            });
+        const JobId sub = submit_prepared(std::move(pj));
+        subs[r] = sub;
+        dist_set_sub(begun.id, r, sub);
+      }
+      dist_spawn(begun.id, [this, id = begun.id, gathered, subs,
+                            cb = std::move(on_complete), t0]() mutable {
+        JobState fin = JobState::kDone;
+        std::string error;
+        std::vector<SortReport> reports(subs.size());
+        for (usize r = 0; r < subs.size(); ++r) {
+          if (subs[r] == 0) continue;  // empty range, never submitted
+          JobInfo ji;
+          try {
+            ji = wait(subs[r]);
+          } catch (const Error& e) {
+            fin = JobState::kFailed;
+            if (error.empty()) error = e.what();
+            continue;
+          }
+          switch (ji.state) {
+            case JobState::kDone:
+              reports[r] = ji.report;
+              break;
+            case JobState::kCancelled:
+              if (fin == JobState::kDone) fin = JobState::kCancelled;
+              break;
+            default:  // kFailed / kRejected
+              fin = JobState::kFailed;
+              if (error.empty()) {
+                error = ji.error.empty() ? "range sub-job failed" : ji.error;
+              }
+              break;
+          }
+        }
+        DistributedSortResult<R> result;
+        if (fin == JobState::kDone) {
+          usize total = 0;
+          for (const auto& s : *gathered) total += s.size();
+          result.output.reserve(total);
+          for (auto& s : *gathered) {
+            result.output.insert(result.output.end(), s.begin(), s.end());
+            s.clear();
+            s.shrink_to_fit();
+          }
+        }
+        result.info = dist_seal(id, fin, std::move(reports),
+                                std::move(error), seconds_since(t0));
+        if (cb) cb(result);
+        dist_publish(id);  // callback done: release fence, wake waiters
+      });
+    } catch (...) {
+      // Registration stands but no coordinator will run (submission or
+      // spawn threw, e.g. during shutdown): retire the record so the
+      // fence lifts and waiters see a terminal state.
+      dist_seal(begun.id, JobState::kFailed, {},
+                "submit_distributed aborted before coordination", 0);
+      dist_publish(begun.id);
+      throw;
+    }
+    return begun.id;
+  }
+
+  /// Blocks until the distributed job is terminal; returns its final
+  /// info (throws on unknown distributed id).
+  DistributedInfo distributed_wait(JobId id);
+
+  /// Snapshot of a distributed job, live or terminal (throws on unknown
+  /// distributed id).
+  DistributedInfo distributed_info(JobId id) const;
+
   /// Adds a live shard built from the config template (or an explicit
   /// one) and the retained BackendFactory; returns its id. The new shard
   /// joins the router — ~1/N of locality keys remap to it — and
@@ -146,7 +291,9 @@ class Cluster {
   /// records and final stats into cluster-held storage, and destroys the
   /// service. Blocks until retirement completes. Topology changes
   /// serialize against each other; the last active shard cannot be
-  /// drained.
+  /// drained. Graceful-shrink guard: throws (before any state changes)
+  /// while the shard owns an in-flight distributed range — pinned ranges
+  /// cannot migrate, so retire the shard after distributed_wait().
   void drain_shard(u32 id);
 
   bool shard_active(u32 id) const;
@@ -166,7 +313,10 @@ class Cluster {
 
   /// Cancels the job wherever it currently is: in the hold queue (goes
   /// terminal immediately, cluster-side), or on its shard (same
-  /// semantics as SortService::cancel). Follows migrations.
+  /// semantics as SortService::cancel). Follows migrations. A
+  /// distributed id cancels every still-live range sub-job; the job goes
+  /// kCancelled once they settle (ranges past their last checkpoint may
+  /// still finish — if ALL did, the job completes anyway).
   bool cancel(JobId id);
 
   /// Drops a terminal job's record — on its shard, or from cluster-held
@@ -176,7 +326,8 @@ class Cluster {
   /// queued, held or running.
   bool forget(JobId id);
 
-  /// Blocks until the hold queue is empty and every active shard is idle.
+  /// Blocks until the hold queue is empty, every active shard is idle
+  /// and every distributed job's coordinator has retired its record.
   void drain();
 
   ClusterStats stats() const;
@@ -252,6 +403,44 @@ class Cluster {
   static JobInfo held_snapshot(const HeldJob& h, JobState state);
   static bool held_before(const HeldJob& a, const HeldJob& b);
   Placement placement_of(JobId id) const;
+  static double seconds_since(Clock::time_point t0);
+
+  // --- distributed jobs (submit_distributed) ---------------------------
+  /// A live distributed job: the progressively filled info (range ->
+  /// shard ownership in range_shards is the drain fence) plus the cancel
+  /// latch for sub-jobs registered after cancel() raced submission.
+  struct DistJob {
+    DistributedInfo info;
+    bool cancel_requested = false;
+  };
+  struct DistBegin {
+    JobId id = 0;
+    std::vector<u32> targets;  // one target shard per range
+  };
+  /// Registers a distributed job under a fresh cluster id: assigns each
+  /// range a target from the active set (round-robin over actives) and
+  /// publishes the ownership that fences those shards against drains.
+  DistBegin dist_begin(const std::string& name,
+                       const RangePartitionStats& pst);
+  /// Records a submitted range sub-job's cluster id; cancels it
+  /// immediately when cancel() already hit the distributed job.
+  void dist_set_sub(JobId dist, u32 range, JobId sub);
+  /// Starts the coordinator thread for a registered distributed job.
+  void dist_spawn(JobId dist, std::function<void()> body);
+  /// Seals a distributed job's final state + per-range reports into its
+  /// live registration and returns the final info. The job stays live
+  /// (fence held, distributed_wait() still blocked) until dist_publish —
+  /// the coordinator runs the completion callback in between, so waiters
+  /// never observe a terminal job whose callback hasn't finished.
+  DistributedInfo dist_seal(JobId dist, JobState fin,
+                            std::vector<SortReport> reports,
+                            std::string error, double wall_s);
+  /// Retires a sealed distributed job: stats roll-up, fence release;
+  /// wakes distributed_wait()ers and drain().
+  void dist_publish(JobId dist);
+  /// cancel() for distributed ids: true when cancellation was initiated
+  /// on a live job (sub-jobs already terminal may still complete).
+  bool dist_cancel(JobId id);
   /// Every kPruneInterval submissions, drops mappings whose shard record
   /// is gone (forgotten or retention-evicted) so a long-lived cluster's
   /// id map stays bounded alongside the shards' own retention.
@@ -282,6 +471,19 @@ class Cluster {
   /// Final ServiceStats snapshot of each retired slot (retained zeroed —
   /// those records live in records_ now).
   std::map<u32, ServiceStats> retired_stats_;
+  /// Distributed jobs: live (coordinator running; keys fence their range
+  /// shards against drain_shard) and terminal records. Coordinator
+  /// threads are joined by the destructor, before anything stops.
+  std::map<JobId, DistJob> dist_jobs_;
+  std::map<JobId, DistributedInfo> dist_records_;
+  std::vector<std::thread> dist_threads_;
+  u64 dist_submitted_ = 0;
+  u64 dist_completed_ = 0;
+  u64 dist_cancelled_ = 0;
+  u64 dist_failed_ = 0;
+  std::vector<u64> dist_last_range_records_;
+  double dist_last_skew_ = 0;
+  double dist_max_skew_ = 0;
   JobId next_id_ = 1;
   bool stopping_ = false;
   std::vector<u64> jobs_per_shard_;

@@ -56,6 +56,21 @@ struct ClusterStats {
   u64 shards_drained = 0;
   u64 cluster_records = 0;
 
+  /// Distributed sample-sorts (submit_distributed). Coordinators are not
+  /// jobs — `submitted` etc. count their per-range sub-jobs, these count
+  /// whole distributed sorts. dist_range_records / dist_skew describe
+  /// the most recently finished one (per-range record counts after
+  /// feasibility rounding; skew = max/mean of the splitter partition —
+  /// 1.0 is perfect balance); dist_skew_max is the lifetime worst.
+  u64 distributed_jobs = 0;
+  u64 distributed_active = 0;
+  u64 distributed_completed = 0;
+  u64 distributed_cancelled = 0;
+  u64 distributed_failed = 0;
+  std::vector<u64> dist_range_records;
+  double dist_skew = 0;
+  double dist_skew_max = 0;
+
   /// Exact sum of the per-shard SharedIoTotals snapshots.
   IoStats io;
 

@@ -1,0 +1,208 @@
+// Splitter sampling and range partitioning for distributed sample-sort
+// (Rahn/Sanders/Singler: sample -> distribute -> local sort -> concat).
+//
+// Splitter math. We draw s = oversample * P sample positions uniformly at
+// random (with replacement), sort the samples, and take every (s/P)-th as
+// a splitter — the classic sample-sort estimate of the input's P-quantiles.
+// With oversampling factor k, the largest of the P ranges exceeds
+// (1 + eps) * N / P with probability at most P * exp(-(eps^2/2) * k / (1+eps))
+// (Chernoff over the binomial count of samples falling in an interval of
+// more than (1+eps)N/P keys); k in the tens already keeps eps around 1/4
+// w.h.p., which tests/distributed_sort_test.cpp asserts as a property
+// across input distributions.
+//
+// Duplicate keys would void that bound (an all-equal input has no
+// splitters at all under plain cmp), so splitters are (record, original
+// position) pairs compared lexicographically under (cmp, position).
+// Position tie-breaking refines cmp into a total order with all N
+// elements distinct, so the balance bound holds for ANY input — including
+// adversarially skewed and all-equal ones — and records with equal keys
+// split cleanly across a range boundary. Ranges stay contiguous in key
+// order: max(range i) <= min(range i+1) under cmp, which is what lets the
+// cluster concatenate locally sorted ranges into one sorted output.
+//
+// Feasibility rounding. The paper's small-pass algorithms want n to be a
+// multiple of the memory budget M (choose_plan's feasibility rules), so
+// each sampled splitter's rank is rounded to the nearest multiple of M
+// and replaced by the EXACT order statistic at that rank (successive
+// nth_element over a tag-index array — O(N * P) worst case, one pass in
+// practice). Records are then classified against those exact boundary
+// elements in a single order-preserving scan. This matters for more than
+// feasibility: because each range is exactly the records of a contiguous
+// rank interval, in their original relative order, a range of a random
+// permutation is itself a random permutation of its key set — so the
+// expected-pass algorithms' displacement bound (shuffling lemma) applies
+// to every range sub-job exactly as it does to a standalone job. A
+// donation-style rounding that moved boundary records between already
+// built ranges would perturb positions by up to M-1 and trip the on-line
+// displacement check's fallback. Requires N % M == 0 so the last
+// boundary lands exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster_stats.h"
+#include "pdm/record.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace pdm {
+
+/// Partition quality figures, as tracked into ClusterStats.
+struct RangePartitionStats {
+  u64 n = 0;
+  u32 ranges = 0;
+  u32 oversample = 0;
+  /// Range sizes straight from the splitters (the property the sampling
+  /// bound speaks about) and after feasibility rounding (what each shard
+  /// actually sorts).
+  std::vector<u64> raw_sizes;
+  std::vector<u64> sizes;
+  /// max/mean of raw_sizes: 1.0 = perfect splitters.
+  double skew = 0;
+};
+
+/// Splits `data` into `ranges` contiguous key ranges using sampled
+/// splitters (seeded, deterministic). With mem_records > 1 and more than
+/// one range, splitter ranks are rounded so every range size is a
+/// multiple of mem_records (data size must then be a multiple too).
+/// Ranges may be empty. The concatenation of the returned ranges is an
+/// exact permutation of `data`, every range preserves its records'
+/// original relative order, and ranges are ordered: no record in range i
+/// compares greater under `cmp` than any record in range i+1.
+template <Record R, class Cmp = std::less<R>>
+std::vector<std::vector<R>> partition_ranges(
+    std::span<const R> data, u32 ranges, u32 oversample, u64 mem_records,
+    u64 seed, Cmp cmp = {}, RangePartitionStats* stats = nullptr) {
+  PDM_CHECK(ranges > 0, "partition_ranges: need at least one range");
+  PDM_CHECK(oversample > 0, "partition_ranges: oversample must be > 0");
+  const u64 n = data.size();
+  std::vector<std::vector<R>> out(ranges);
+  RangePartitionStats st;
+  st.n = n;
+  st.ranges = ranges;
+  st.oversample = oversample;
+  if (ranges == 1 || n == 0) {
+    out[0].assign(data.begin(), data.end());
+    st.raw_sizes.assign(ranges, 0);
+    st.raw_sizes[0] = n;
+    st.sizes = st.raw_sizes;
+    st.skew = imbalance_ratio(st.raw_sizes);
+    if (stats != nullptr) *stats = std::move(st);
+    return out;
+  }
+  if (mem_records > 1) {
+    PDM_CHECK(n % mem_records == 0,
+              "partition_ranges: n must be a multiple of mem_records so "
+              "rounded range boundaries stay plan-feasible");
+  }
+
+  // (record, original position) with position tie-break: a total order
+  // refining cmp, under which all N elements are distinct.
+  struct Tagged {
+    R rec;
+    u64 pos;
+  };
+  auto tagged_less = [&cmp](const Tagged& a, const Tagged& b) {
+    if (cmp(a.rec, b.rec)) return true;
+    if (cmp(b.rec, a.rec)) return false;
+    return a.pos < b.pos;
+  };
+
+  // Sample s = oversample * P positions, sort, take the P-quantiles.
+  Rng rng(seed);
+  const u64 s = static_cast<u64>(oversample) * ranges;
+  std::vector<Tagged> sample;
+  sample.reserve(static_cast<usize>(s));
+  for (u64 i = 0; i < s; ++i) {
+    const u64 p = rng.below(n);
+    sample.push_back(Tagged{data[static_cast<usize>(p)], p});
+  }
+  std::sort(sample.begin(), sample.end(), tagged_less);
+  std::vector<Tagged> splitters;
+  splitters.reserve(ranges - 1);
+  for (u32 i = 1; i < ranges; ++i) {
+    splitters.push_back(sample[static_cast<usize>(i * s / ranges)]);
+  }
+
+  // Raw partition sizes under the sampled splitters — a counting pass
+  // only; this is the partition the sampling balance bound speaks about.
+  st.raw_sizes.assign(ranges, 0);
+  for (u64 p = 0; p < n; ++p) {
+    const Tagged t{data[static_cast<usize>(p)], p};
+    const auto it =
+        std::upper_bound(splitters.begin(), splitters.end(), t, tagged_less);
+    ++st.raw_sizes[static_cast<usize>(it - splitters.begin())];
+  }
+  st.skew = imbalance_ratio(st.raw_sizes);
+
+  // Boundary ranks: the raw splitters' ranks, rounded to the nearest
+  // multiple of M (kept monotone; rounding moves each boundary < M).
+  std::vector<u64> cuts;  // interior boundaries; cuts[r] ends range r
+  cuts.reserve(ranges - 1);
+  {
+    u64 cum = 0;
+    u64 prev = 0;
+    for (u32 i = 0; i + 1 < ranges; ++i) {
+      cum += st.raw_sizes[i];
+      u64 t = cum;
+      if (mem_records > 1) {
+        t = ((cum + mem_records / 2) / mem_records) * mem_records;
+      }
+      t = std::max(std::min(t, n), prev);
+      cuts.push_back(t);
+      prev = t;
+    }
+  }
+
+  // Exact order statistics at the cut ranks, via successive nth_element
+  // over a tag-index array: after cutting at absolute rank t, idx[t] is
+  // the rank-t element (the first record of the next range). Cuts at n
+  // have no element — they close empty tail ranges.
+  std::vector<Tagged> bounds;  // boundary element per cut with rank < n
+  {
+    std::vector<u64> idx(static_cast<usize>(n));
+    std::iota(idx.begin(), idx.end(), u64{0});
+    auto idx_less = [&](u64 a, u64 b) {
+      const Tagged ta{data[static_cast<usize>(a)], a};
+      const Tagged tb{data[static_cast<usize>(b)], b};
+      return tagged_less(ta, tb);
+    };
+    u64 lo = 0;
+    for (u64 t : cuts) {
+      if (t >= n) break;  // monotone: all further cuts are n too
+      if (t > lo) {
+        std::nth_element(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                         idx.begin() + static_cast<std::ptrdiff_t>(t),
+                         idx.end(), idx_less);
+        lo = t;
+      }
+      const u64 b = idx[static_cast<usize>(t)];
+      bounds.push_back(Tagged{data[static_cast<usize>(b)], b});
+    }
+  }
+
+  // Classify: record (r, p) goes to the first range whose boundary
+  // element is strictly greater under the tagged order; past the last
+  // real boundary it goes to the range that boundary count names (any
+  // trailing ranges are empty). One scan, original relative order
+  // preserved within every range.
+  for (auto& r : out) r.reserve(static_cast<usize>(n / ranges + 1));
+  for (u64 p = 0; p < n; ++p) {
+    const Tagged t{data[static_cast<usize>(p)], p};
+    const auto it =
+        std::upper_bound(bounds.begin(), bounds.end(), t, tagged_less);
+    out[static_cast<usize>(it - bounds.begin())].push_back(t.rec);
+  }
+
+  st.sizes.reserve(ranges);
+  for (const auto& r : out) st.sizes.push_back(r.size());
+  if (stats != nullptr) *stats = std::move(st);
+  return out;
+}
+
+}  // namespace pdm

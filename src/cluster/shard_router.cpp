@@ -86,6 +86,13 @@ u32 ShardRouter::place(const SortJobSpec& spec,
   PDM_CHECK(!active_.empty(), "router: no active shards");
   PDM_CHECK(loads.size() > active_.back(),
             "router: loads snapshot does not cover the active shards");
+  // A hard pin (SortJobSpec::target_shard) overrides every policy while
+  // its target is active; a pin on a drained shard dissolves to normal
+  // placement.
+  if (spec.target_shard != SortJobSpec::kAnyShard &&
+      is_active(spec.target_shard)) {
+    return spec.target_shard;
+  }
   if (auto pinned = pinned_shard(spec.locality_key)) return *pinned;
   if (active_.size() == 1) return active_.front();
   switch (policy_) {

@@ -106,8 +106,10 @@ class ShardRouter {
 
   /// Preferred shard for `spec` given the current loads. `loads` is
   /// indexed by shard id and must cover every active id (retired slots
-  /// may hold placeholders). A key pinned by sticky spill-back overrides
-  /// the policy while its target is active.
+  /// may hold placeholders). A hard pin (SortJobSpec::target_shard, used
+  /// by distributed range jobs) overrides everything while its target is
+  /// active; below that, a key pinned by sticky spill-back overrides the
+  /// policy while its target is active.
   u32 place(const SortJobSpec& spec, std::span<const ShardLoad> loads);
 
   /// Consecutive spills of one locality key before its placement sticks

@@ -83,6 +83,17 @@ struct SortJobSpec {
   /// kLocalityHash policy, so repeat tenants land where their plan-cache
   /// and page-cache state is warm. Empty = no affinity.
   std::string locality_key;
+
+  /// Hard placement pin for cluster serving: kAnyShard (default) lets the
+  /// router choose; any other value places the job on exactly that shard
+  /// — it may still park in the hold queue until the shard has headroom,
+  /// but it is never spilled or stolen elsewhere. A pinned job whose
+  /// shard can never admit it is rejected cluster-wide; a pin whose
+  /// target has been drained dissolves back to router placement. Used by
+  /// Cluster::submit_distributed to keep each key range on the shard its
+  /// splitter assignment chose.
+  static constexpr u32 kAnyShard = 0xffffffffu;
+  u32 target_shard = kAnyShard;
 };
 
 /// Snapshot of one job for stats/introspection.
