@@ -37,7 +37,9 @@ Cluster::~Cluster() {
   std::vector<std::thread> coords;
   {
     std::lock_guard g(mu_);
-    coords.swap(dist_threads_);
+    for (auto& [token, t] : dist_threads_) coords.push_back(std::move(t));
+    dist_threads_.clear();
+    dist_finished_threads_.clear();
   }
   for (auto& t : coords) {
     if (t.joinable()) t.join();
@@ -646,6 +648,12 @@ bool Cluster::forget(JobId id) {
     jobs_.erase(id);
     return true;
   }
+  if (auto d = dist_records_.find(id); d != dist_records_.end()) {
+    dist_records_.erase(d);
+    place_cv_.notify_all();  // racing distributed_wait()ers must throw
+    return true;
+  }
+  if (dist_jobs_.count(id) != 0) return false;  // coordinator still live
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
   const Placement p = it->second;
@@ -753,10 +761,37 @@ void Cluster::dist_set_sub(JobId dist, u32 range, JobId sub) {
 }
 
 void Cluster::dist_spawn(JobId dist, std::function<void()> body) {
-  std::lock_guard g(mu_);
-  PDM_CHECK(!stopping_, "Cluster is shutting down");
-  PDM_ASSERT(dist_jobs_.count(dist) != 0, "dist_spawn: unknown job");
-  dist_threads_.emplace_back(std::move(body));
+  std::vector<std::thread> reap;
+  {
+    std::lock_guard g(mu_);
+    PDM_CHECK(!stopping_, "Cluster is shutting down");
+    PDM_ASSERT(dist_jobs_.count(dist) != 0, "dist_spawn: unknown job");
+    reap = reap_dist_threads_locked();
+    const u64 token = next_dist_thread_++;
+    dist_threads_.emplace(
+        token, std::thread([this, token, b = std::move(body)] {
+          b();
+          // Last touch of the cluster: queue this thread for reaping by
+          // the next dist_spawn (or the destructor, which joins the
+          // whole registry regardless).
+          std::lock_guard done(mu_);
+          dist_finished_threads_.push_back(token);
+        }));
+  }
+  for (auto& t : reap) t.join();
+}
+
+std::vector<std::thread> Cluster::reap_dist_threads_locked() {
+  std::vector<std::thread> done;
+  done.reserve(dist_finished_threads_.size());
+  for (u64 token : dist_finished_threads_) {
+    if (auto it = dist_threads_.find(token); it != dist_threads_.end()) {
+      done.push_back(std::move(it->second));
+      dist_threads_.erase(it);
+    }
+  }
+  dist_finished_threads_.clear();
+  return done;
 }
 
 DistributedInfo Cluster::dist_seal(JobId dist, JobState fin,
@@ -814,8 +849,15 @@ DistributedInfo Cluster::distributed_wait(JobId id) {
   std::unique_lock lock(mu_);
   PDM_CHECK(dist_jobs_.count(id) != 0 || dist_records_.count(id) != 0,
             "cluster: unknown distributed job id");
-  place_cv_.wait(lock, [&] { return dist_records_.count(id) != 0; });
-  return dist_records_.at(id);
+  // "No longer live" also covers a record forget() dropped mid-wait —
+  // without it a forgotten id would block here forever.
+  place_cv_.wait(lock, [&] {
+    return dist_records_.count(id) != 0 || dist_jobs_.count(id) == 0;
+  });
+  auto it = dist_records_.find(id);
+  PDM_CHECK(it != dist_records_.end(),
+            "cluster: distributed job record was forgotten");
+  return it->second;
 }
 
 DistributedInfo Cluster::distributed_info(JobId id) const {

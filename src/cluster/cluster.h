@@ -162,7 +162,9 @@ class Cluster {
   /// distributed_wait / distributed_info / cancel (NOT to wait/info —
   /// those track the per-range sub-jobs, whose ids the info exposes).
   /// `on_complete`, if given, runs on the coordinator thread with the
-  /// fully assembled output (empty unless the job completed).
+  /// fully assembled output (empty unless the job completed). If it
+  /// throws, the exception is swallowed and the job's final state
+  /// becomes kFailed with the exception message as the error.
   ///
   /// Requirements: data.size() % spec.mem_records == 0 (feasibility
   /// rounding keeps every range a multiple of M so per-range plans stay
@@ -255,7 +257,22 @@ class Cluster {
         }
         result.info = dist_seal(id, fin, std::move(reports),
                                 std::move(error), seconds_since(t0));
-        if (cb) cb(result);
+        if (cb) {
+          // A throwing callback must not escape the thread (that would
+          // std::terminate) or leave the fence held: it becomes the
+          // job's failure and the record publishes regardless. Empty
+          // reports leave the already sealed per-range reports intact.
+          try {
+            cb(result);
+          } catch (const std::exception& e) {
+            dist_seal(id, JobState::kFailed, {},
+                      std::string("on_complete threw: ") + e.what(),
+                      result.info.wall_s);
+          } catch (...) {
+            dist_seal(id, JobState::kFailed, {}, "on_complete threw",
+                      result.info.wall_s);
+          }
+        }
         dist_publish(id);  // callback done: release fence, wake waiters
       });
     } catch (...) {
@@ -323,7 +340,10 @@ class Cluster {
   /// storage for retired-shard and hold-queue terminals. Also returns
   /// true (and drops the mapping) when the shard's retention policy
   /// already evicted the record; false only while the job is still
-  /// queued, held or running.
+  /// queued, held or running. Distributed ids work too: a terminal
+  /// distributed record is dropped (a concurrent distributed_wait then
+  /// throws instead of returning it), a still-running distributed job
+  /// returns false.
   bool forget(JobId id);
 
   /// Blocks until the hold queue is empty, every active shard is idle
@@ -425,8 +445,13 @@ class Cluster {
   /// Records a submitted range sub-job's cluster id; cancels it
   /// immediately when cancel() already hit the distributed job.
   void dist_set_sub(JobId dist, u32 range, JobId sub);
-  /// Starts the coordinator thread for a registered distributed job.
+  /// Starts the coordinator thread for a registered distributed job
+  /// (reaping any previously finished coordinators on the way).
   void dist_spawn(JobId dist, std::function<void()> body);
+  /// Moves the threads whose bodies have finished out of dist_threads_;
+  /// the caller joins them outside mu_ (the joins return immediately —
+  /// a finished body has only the thread exit left).
+  std::vector<std::thread> reap_dist_threads_locked();
   /// Seals a distributed job's final state + per-range reports into its
   /// live registration and returns the final info. The job stays live
   /// (fence held, distributed_wait() still blocked) until dist_publish —
@@ -472,11 +497,17 @@ class Cluster {
   /// those records live in records_ now).
   std::map<u32, ServiceStats> retired_stats_;
   /// Distributed jobs: live (coordinator running; keys fence their range
-  /// shards against drain_shard) and terminal records. Coordinator
-  /// threads are joined by the destructor, before anything stops.
+  /// shards against drain_shard) and terminal records (droppable via
+  /// forget()). Coordinator threads register under a token; a finished
+  /// coordinator queues its token in dist_finished_threads_ as its last
+  /// cluster touch, and the next dist_spawn (or the destructor) joins
+  /// and erases it — finished threads do not accumulate across a
+  /// long-lived cluster's many distributed sorts.
   std::map<JobId, DistJob> dist_jobs_;
   std::map<JobId, DistributedInfo> dist_records_;
-  std::vector<std::thread> dist_threads_;
+  std::map<u64, std::thread> dist_threads_;
+  std::vector<u64> dist_finished_threads_;
+  u64 next_dist_thread_ = 0;
   u64 dist_submitted_ = 0;
   u64 dist_completed_ = 0;
   u64 dist_cancelled_ = 0;

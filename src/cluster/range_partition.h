@@ -175,7 +175,13 @@ std::vector<std::vector<R>> partition_ranges(
     u64 lo = 0;
     for (u64 t : cuts) {
       if (t >= n) break;  // monotone: all further cuts are n too
-      if (t > lo) {
+      // The very first cut must select even at t == lo == 0 (a rank that
+      // rounded down to zero): idx[0] still holds iota's position 0
+      // there, not the rank-0 minimum, and a wrong first bound can leave
+      // `bounds` unsorted — UB in the upper_bound classification below.
+      // Later cuts equal to lo reuse the element a prior nth_element
+      // already placed at that rank.
+      if (t > lo || bounds.empty()) {
         std::nth_element(idx.begin() + static_cast<std::ptrdiff_t>(lo),
                          idx.begin() + static_cast<std::ptrdiff_t>(t),
                          idx.end(), idx_less);
