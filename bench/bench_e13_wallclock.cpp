@@ -11,6 +11,7 @@
 #include "core/three_pass_lmm.h"
 #include "core/three_pass_mesh.h"
 #include "pdm/memory_backend.h"
+#include "util/trace.h"
 
 #include <filesystem>
 
@@ -45,6 +46,14 @@ int main(int argc, char** argv) {
          "Wall-clock + simulated disk time at a common N, file-backed "
          "disks (one file per disk, parallel pread/pwrite) and in-memory "
          "backend.");
+
+  // --trace_out=FILE enables the phase tracer for the whole bench and
+  // dumps Chrome trace_event JSON at exit (chrome://tracing / Perfetto).
+  const std::string trace_out = cli.get("trace_out", "");
+  if (!trace_out.empty()) {
+    trace::TraceLog::instance().set_enabled(true);
+    trace::TraceLog::instance().set_thread_name("bench-main");
+  }
 
   const u64 mem = cli.get_u64("m", 16384);
   const auto g = Geom::square(mem);
@@ -218,5 +227,15 @@ int main(int argc, char** argv) {
          "to the latency fraction of the run — prefetch and write-behind "
          "overlap the simulated positioning delay with computation and "
          "across the D disks.\n";
+  if (!trace_out.empty()) {
+    if (trace::TraceLog::instance().write_chrome_json(trace_out)) {
+      std::cout << "wrote trace -> " << trace_out << " ("
+                << trace::TraceLog::instance().snapshot().size()
+                << " events)\n";
+    } else {
+      std::cerr << "trace: could not write " << trace_out << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -6,6 +6,12 @@
 //   ./example_cluster_serve                         # 4 shards, least_loaded
 //   ./example_cluster_serve --shards=2 --policy=locality_hash
 //   ./example_cluster_serve --tenants=12 --jobs=64 --seek_us=400
+//   ./example_cluster_serve --trace-out=trace.json --metrics=1
+//
+// --trace-out=FILE enables the phase tracer and dumps Chrome trace_event
+// JSON on exit (open in chrome://tracing or https://ui.perfetto.dev);
+// --metrics=1 prints the metrics registry (counters/gauges/histograms,
+// per-span totals) after the run.
 #include <atomic>
 #include <iostream>
 #include <memory>
@@ -17,6 +23,7 @@
 #include "util/cli.h"
 #include "util/generators.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 using namespace pdm;
 
@@ -30,6 +37,12 @@ int main(int argc, char** argv) {
   const usize workers_total = static_cast<usize>(cli.get_u64("workers", 4));
   const RoutePolicy policy =
       route_policy_from_name(cli.get("policy", "least_loaded"));
+  const std::string trace_out = cli.get("trace-out", "");
+  const bool print_metrics = cli.get_u64("metrics", 0) != 0;
+  if (!trace_out.empty()) {
+    trace::TraceLog::instance().set_enabled(true);
+    trace::TraceLog::instance().set_thread_name("main");
+  }
 
   const u64 rpb = isqrt(mem);
   PDM_CHECK(rpb * rpb == mem, "--mem must be a perfect square");
@@ -118,6 +131,19 @@ int main(int argc, char** argv) {
             << st.io.total_blocks() << " blocks (shard sum " << shard_blocks
             << ": " << (shard_blocks == st.io.total_blocks() ? "exact" : "MISMATCH")
             << ")\n";
+  if (print_metrics) {
+    std::cout << "\n-- metrics --\n" << cluster.metrics_text();
+  }
+  if (!trace_out.empty()) {
+    if (trace::TraceLog::instance().write_chrome_json(trace_out)) {
+      std::cout << "trace: wrote " << trace_out << " ("
+                << trace::TraceLog::instance().snapshot().size()
+                << " events, " << trace::TraceLog::instance().dropped()
+                << " dropped)\n";
+    } else {
+      std::cerr << "trace: could not write " << trace_out << "\n";
+    }
+  }
   if (st.failed != 0 || st.rejected != 0 ||
       verified.load() != st.completed ||
       shard_blocks != st.io.total_blocks()) {

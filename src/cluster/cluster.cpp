@@ -2,12 +2,23 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace pdm {
 
 namespace {
 
 double seconds(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double>(d).count();
+}
+
+// Hold-queue depth on both telemetry planes: a counter track in the trace
+// (renders as a graph in Perfetto) and a gauge in the metrics registry.
+void note_hold_depth(usize depth) {
+  PDM_TRACE_COUNTER("cluster", "hold_depth", depth);
+  metrics::Registry::global().gauge("cluster.hold_depth").set(
+      static_cast<i64>(depth));
 }
 
 }  // namespace
@@ -18,6 +29,9 @@ Cluster::Cluster(BackendFactory make_backend, ClusterConfig cfg)
       router_(cfg.shards, cfg.policy, cfg.router_seed, cfg.ring_vnodes),
       jobs_per_shard_(cfg.shards, 0) {
   router_.set_spill_promote_after(cfg.spill_promote_after);
+  // Mirror span durations into the metrics registry so metrics_text()
+  // shows per-phase totals next to the trace (idempotent).
+  metrics::install_span_histograms();
   PDM_CHECK(cfg.shards > 0, "Cluster needs at least one shard");
   PDM_CHECK(make_backend_ != nullptr, "Cluster needs a backend factory");
   PDM_CHECK(cfg.shard_configs.empty() || cfg.shard_configs.size() == cfg.shards,
@@ -170,8 +184,11 @@ bool Cluster::held_before(const HeldJob& a, const HeldJob& b) {
 }
 
 void Cluster::hold_insert_locked(HeldJob h) {
+  const JobId id = h.id;
   auto pos = std::upper_bound(hold_.begin(), hold_.end(), h, held_before);
   hold_.insert(pos, std::move(h));
+  PDM_TRACE_INSTANT_ARG("cluster", "job_parked", "job", id);
+  note_hold_depth(hold_.size());
 }
 
 void Cluster::on_capacity_freed() {
@@ -204,6 +221,40 @@ void Cluster::pump_locked() {
         h.job.spec.target_shard = SortJobSpec::kAnyShard;
       }
       h.home = router_.place(h.job.spec, loads);
+    }
+    // Deadline pump admission: a parked deadline job whose calibrated run
+    // estimate no longer fits inside the time it has left can only be
+    // dispatched to miss — reject it at the pump instead of burning a
+    // shard slot on a hopeless run. Gated on the home shard's
+    // deadline_admission flag, like the shard-side check it front-runs,
+    // and calibrated by the same EMA the shard feeds (deadline_cal).
+    if (h.job.spec.deadline_s > 0 &&
+        slots_[h.home].service->config().deadline_admission) {
+      SortService& svc = *slots_[h.home].service;
+      const double est =
+          svc.estimate_run_s(h.job.spec, h.job.record_bytes, h.job.n);
+      const double ratio = svc.deadline_cal();
+      const double cal =
+          svc.config().deadline_calibration && ratio > 0 ? ratio : 1.0;
+      const double remaining =
+          h.job.spec.deadline_s - seconds(Clock::now() - h.t_submit);
+      if (est > 0 && est * cal > remaining) {
+        JobInfo rec = held_snapshot(h, JobState::kRejected);
+        rec.error = "deadline admission (pump): calibrated run estimate " +
+                    std::to_string(est * cal) +
+                    "s exceeds the deadline's remaining " +
+                    std::to_string(std::max(0.0, remaining)) + "s";
+        PDM_TRACE_INSTANT_ARG("cluster", "held_rejected_deadline", "job",
+                              h.id);
+        add_record_locked(h.id, std::move(rec));
+        jobs_.erase(h.id);
+        ++held_rejected_;
+        ++held_rejected_deadline_;
+        ++rejected_cluster_wide_;
+        hold_.erase(hold_.begin() + static_cast<std::ptrdiff_t>(i));
+        note_hold_depth(hold_.size());
+        continue;
+      }
     }
     // A hard-pinned job dispatches to its pin or stays parked: no steal.
     const bool hard_pinned =
@@ -252,6 +303,7 @@ void Cluster::pump_locked() {
       ++held_rejected_;
       ++rejected_cluster_wide_;
       hold_.erase(hold_.begin() + static_cast<std::ptrdiff_t>(i));
+      note_hold_depth(hold_.size());
       continue;
     }
     if (target == ShardRouter::kNone) {
@@ -261,26 +313,42 @@ void Cluster::pump_locked() {
     // Dispatch. Deadlines are wall-clock promises made at submission:
     // charge the time spent parked against the relative deadline the
     // serving shard sees.
+    const double parked_s = seconds(Clock::now() - h.t_submit);
     if (h.job.spec.deadline_s > 0) {
-      const double waited = seconds(Clock::now() - h.t_submit);
-      h.job.spec.deadline_s = std::max(1e-9, h.job.spec.deadline_s - waited);
+      h.job.spec.deadline_s = std::max(1e-9, h.job.spec.deadline_s - parked_s);
+    }
+    metrics::Registry::global().histogram("cluster.hold_park_ns").record(
+        parked_s > 0 ? static_cast<u64>(parked_s * 1e9) : 0);
+    if (trace::TraceLog::instance().enabled()) {
+      // Retro-span covering the park: submission to this dispatch.
+      const u64 now_ns = trace::TraceLog::now_ns();
+      const u64 dur = std::min(
+          now_ns, parked_s > 0 ? static_cast<u64>(parked_s * 1e9) : 0);
+      trace::TraceLog::instance().complete("cluster", "hold_park",
+                                           now_ns - dur, dur, "job", h.id);
     }
     const JobId local =
         slots_[target].service->submit_prepared(std::move(h.job));
     jobs_[h.id] = Placement{target, local};
     ++jobs_per_shard_[target];
-    if (target != h.home) ++stolen_;
+    if (target != h.home) {
+      ++stolen_;
+      PDM_TRACE_INSTANT_ARG("cluster", "job_stolen", "job", h.id);
+    }
     // Reflect the reservation in our load copy so later holds in this
     // pump see the shard as (possibly) full again.
     loads[target].queued += 1;
     loads[target].reserved_bytes += target_carve;
     hold_.erase(hold_.begin() + static_cast<std::ptrdiff_t>(i));
+    note_hold_depth(hold_.size());
   }
   place_cv_.notify_all();
 }
 
 JobId Cluster::submit_prepared(PreparedJob job) {
   PDM_CHECK(job.run != nullptr, "submit_prepared: empty job");
+  // Placement cost = load polling + lock wait + routing decision.
+  trace::TraceSpan place_span("cluster", "placement", "n", job.n);
   std::vector<ShardLoad> loads = shard_loads();
   std::unique_lock lock(mu_);
   PDM_CHECK(!stopping_, "Cluster is shutting down");
@@ -296,6 +364,7 @@ JobId Cluster::submit_prepared(PreparedJob job) {
   const JobId id = next_id_++;
   const PlaceResult pr =
       place_locked(job.spec, job.record_bytes, job.n, loads);
+  place_span.end();
   // Direct dispatch when the hold queue is off, the job is a cluster-wide
   // reject (the shard produces the rejection record), or the placed shard
   // has headroom AND no earlier job is parked (order preservation: a
@@ -431,6 +500,7 @@ void Cluster::drain_shard(u32 id) {
       hold_insert_locked(std::move(h));
       jobs_[cid] = Placement{};  // kHeldShard
       ++migrated_;
+      PDM_TRACE_INSTANT_ARG("cluster", "job_migrated", "job", cid);
     }
     // Phase B: re-place the migrants immediately where possible, and
     // wake waiters that saw kMigrated so they re-resolve.
@@ -607,6 +677,7 @@ bool Cluster::cancel(JobId id) {
     if (held != hold_.end()) {
       add_record_locked(id, held_snapshot(*held, JobState::kCancelled));
       hold_.erase(held);
+      note_hold_depth(hold_.size());
       jobs_.erase(id);  // the record answers lookups from here on
       ++held_cancelled_;
       place_cv_.notify_all();
@@ -770,7 +841,11 @@ void Cluster::dist_spawn(JobId dist, std::function<void()> body) {
     const u64 token = next_dist_thread_++;
     dist_threads_.emplace(
         token, std::thread([this, token, b = std::move(body)] {
-          b();
+          trace::TraceLog::instance().set_thread_name("dist-coord");
+          {
+            trace::TraceSpan span("cluster", "dist_coordinate");
+            b();
+          }
           // Last touch of the cluster: queue this thread for reaping by
           // the next dist_spawn (or the destructor, which joins the
           // whole registry regardless).
@@ -912,6 +987,7 @@ ClusterStats Cluster::stats() const {
     c.held_total = held_total_;
     c.held_cancelled = held_cancelled_;
     c.held_rejected = held_rejected_;
+    c.held_rejected_deadline = held_rejected_deadline_;
     c.stolen = stolen_;
     c.migrated = migrated_;
     c.shards_added = shards_added_;
@@ -963,6 +1039,14 @@ ClusterStats Cluster::stats() const {
   c.job_imbalance = imbalance_ratio(c.jobs_per_shard);
   c.io_imbalance = imbalance_ratio(c.blocks_per_shard);
   return c;
+}
+
+std::string Cluster::metrics_text() const {
+  {
+    std::lock_guard g(mu_);
+    note_hold_depth(hold_.size());
+  }
+  return metrics::Registry::global().text();
 }
 
 }  // namespace pdm

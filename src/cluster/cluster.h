@@ -74,6 +74,7 @@
 #include "pdm/backend_factory.h"
 #include "pdm/extent_exchange.h"
 #include "service/sort_service.h"
+#include "util/trace.h"
 
 namespace pdm {
 
@@ -184,9 +185,11 @@ class Cluster {
                            ? opts.ranges
                            : static_cast<u32>(active_shards().size());
     RangePartitionStats pst;
+    trace::TraceSpan part_span("cluster", "dist_partition", "ranges", ranges);
     auto parts = partition_ranges<R, Cmp>(std::span<const R>(data), ranges,
                                           opts.oversample, spec.mem_records,
                                           opts.sample_seed, cmp, &pst);
+    part_span.end();
     data.clear();
     data.shrink_to_fit();
     // Registers the job and fences its target shards against drains.
@@ -248,6 +251,8 @@ class Cluster {
         if (fin == JobState::kDone) {
           usize total = 0;
           for (const auto& s : *gathered) total += s.size();
+          trace::TraceSpan concat_span("cluster", "dist_concat", "records",
+                                       total);
           result.output.reserve(total);
           for (auto& s : *gathered) {
             result.output.insert(result.output.end(), s.begin(), s.end());
@@ -351,6 +356,12 @@ class Cluster {
   void drain();
 
   ClusterStats stats() const;
+
+  /// Text exposition of the process-global metrics registry (counters,
+  /// gauges, histograms — including per-span duration histograms when
+  /// tracing is on), with the cluster's hold-queue depth gauge refreshed
+  /// first. One `name value` line per metric; see metrics::Registry.
+  std::string metrics_text() const;
 
   /// Slots ever created, including retired ones (shard ids are stable).
   usize num_shards() const;
@@ -523,6 +534,7 @@ class Cluster {
   u64 held_total_ = 0;
   u64 held_cancelled_ = 0;
   u64 held_rejected_ = 0;
+  u64 held_rejected_deadline_ = 0;  // subset of held_rejected_ (pump check)
   u64 stolen_ = 0;
   u64 migrated_ = 0;
   u64 shards_added_ = 0;

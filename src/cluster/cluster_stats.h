@@ -45,6 +45,10 @@ struct ClusterStats {
   u64 held_total = 0;
   u64 held_cancelled = 0;
   u64 held_rejected = 0;
+  /// Subset of held_rejected: parked jobs rejected by the pump's deadline
+  /// admission check (calibrated run estimate exceeded the remaining
+  /// deadline budget, so dispatch could only have produced a late job).
+  u64 held_rejected_deadline = 0;
   u64 stolen = 0;
 
   /// Elasticity: queued jobs moved off a draining shard, and lifetime

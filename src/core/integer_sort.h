@@ -175,6 +175,8 @@ DistributeOutcome<R> distribute_pass(
   const u64 load_sz =
       staged ? std::max<u64>(rpb, round_down(mem_records / 2, rpb))
              : round_down(mem_records, rpb);
+  trace::TraceSpan trace_span("pass", "distribute_pass", "buckets",
+                              num_buckets);
 
   DistributeOutcome<R> out;
   out.buckets.reserve(num_buckets);

@@ -72,6 +72,8 @@ void radix_recurse(RadixState<R>& st, RecordReader<R>& reader, u32 shift,
 
   auto read_pending = [&] {
     if (reqs.empty()) return;
+    trace::TraceSpan trace_span("pass", "radix_leaf_read", "reqs",
+                                reqs.size());
     st.ctx->io().read(reqs);
     for (usize i = 0; i < valids.size(); ++i) {
       std::copy(st.io_buf->data() + i * rpb,
@@ -86,6 +88,8 @@ void radix_recurse(RadixState<R>& st, RecordReader<R>& reader, u32 shift,
   auto flush_group = [&] {
     read_pending();
     if (group_n == 0) return;
+    trace::TraceSpan trace_span("pass", "radix_leaf_sort", "records",
+                                group_n);
     std::span<R> recs(st.leaf_buf->data(), group_n);
     std::sort(recs.begin(), recs.end(), [](const R& a, const R& b) {
       return record_key(a) < record_key(b);
@@ -113,6 +117,8 @@ void radix_recurse(RadixState<R>& st, RecordReader<R>& reader, u32 shift,
       // All remaining key bits equal: any order of the bucket is sorted
       // by key; stream-copy it out.
       flush_group();
+      trace::TraceSpan trace_span("pass", "radix_stream_copy", "records",
+                                  bucket.size());
       RaggedRunReader<R> br(bucket);
       while (!br.exhausted()) {
         const usize got = br.read_up_to(st.io_buf->data(), st.io_buf->size());

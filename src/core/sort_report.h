@@ -9,6 +9,7 @@
 #include "pdm/pdm_context.h"
 #include "pdm/striped_run.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace pdm {
 
@@ -44,6 +45,7 @@ class ReportBuilder {
     report_.disks = ctx.D();
     ctx.budget().reset_peak();
     budget_floor_ = ctx.budget().peak();
+    trace_start_ns_ = trace::TraceLog::now_ns();
   }
 
   SortReport finish() {
@@ -62,6 +64,11 @@ class ReportBuilder {
     report_.wall_seconds = timer_.seconds();
     report_.sim_seconds = d.sim_time_s;
     (void)budget_floor_;
+    // Whole-sort span named after the algorithm; child phase spans (run
+    // formation, merge passes, cleanup) nest under it in the trace viewer.
+    trace::TraceLog::instance().complete_dyn(
+        "sort", "sort." + report_.algorithm, trace_start_ns_,
+        trace::TraceLog::now_ns() - trace_start_ns_, "n", report_.n);
     return report_;
   }
 
@@ -73,6 +80,7 @@ class ReportBuilder {
   SortReport report_;
   Timer timer_;
   usize budget_floor_ = 0;
+  u64 trace_start_ns_ = 0;
 };
 
 /// Output run + report pair returned by every sorter.

@@ -1,6 +1,9 @@
 #include "pdm/async_io.h"
 
 #include <algorithm>
+#include <string>
+
+#include "util/trace.h"
 
 namespace pdm {
 
@@ -13,7 +16,11 @@ constexpr usize kMaxWorkers = 64;
 }  // namespace
 
 AsyncIoScheduler::AsyncIoScheduler(IoScheduler& sync)
-    : sync_(&sync), queues_(sync.backend().num_disks()) {}
+    : sync_(&sync),
+      queues_(sync.backend().num_disks()),
+      read_ticket_ns_(metrics::Registry::global().histogram("io.read_ticket_ns")),
+      write_ticket_ns_(
+          metrics::Registry::global().histogram("io.write_ticket_ns")) {}
 
 AsyncIoScheduler::~AsyncIoScheduler() {
   // stop_workers lets the workers finish every queued job before joining,
@@ -80,6 +87,7 @@ IoTicket AsyncIoScheduler::submit(std::span<const Req> reqs) {
   const IoTicket ticket = ++next_ticket_;
   // Split into one job per disk, preserving submission order within each.
   usize njobs = 0;
+  std::vector<u32> touched;  // disks this ticket queued on (counter tracks)
   for (const auto& r : reqs) {
     DiskQueue& q = queues_[r.where.disk];
     if (q.jobs.empty() || q.jobs.back().ticket != ticket) {
@@ -88,6 +96,7 @@ IoTicket AsyncIoScheduler::submit(std::span<const Req> reqs) {
       j.is_write = kIsWrite;
       q.jobs.push_back(std::move(j));
       ++njobs;
+      touched.push_back(r.where.disk);
     }
     if constexpr (kIsWrite) {
       q.jobs.back().writes.push_back(r);
@@ -95,7 +104,18 @@ IoTicket AsyncIoScheduler::submit(std::span<const Req> reqs) {
       q.jobs.back().reads.push_back(r);
     }
   }
-  pending_[ticket] = njobs;
+  PendingTicket pt;
+  pt.outstanding = njobs;
+  pt.is_write = kIsWrite;
+  pt.t_submit = std::chrono::steady_clock::now();
+  pending_[ticket] = pt;
+  if (trace::TraceLog::instance().enabled()) {
+    PDM_TRACE_COUNTER("io", "tickets_in_flight", pending_.size());
+    for (u32 d : touched) {
+      trace::TraceLog::instance().counter_dyn(
+          "io", "disk" + std::to_string(d) + ".queue", queues_[d].jobs.size());
+    }
+  }
   lk.unlock();
   work_cv_.notify_all();
   return ticket;
@@ -162,6 +182,7 @@ void AsyncIoScheduler::drain() {
 }
 
 void AsyncIoScheduler::worker_loop() {
+  trace::TraceLog::instance().set_thread_name("aio-worker");
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     // Find a disk with a runnable job, round-robin from the shared cursor.
@@ -211,7 +232,26 @@ void AsyncIoScheduler::worker_loop() {
     q.busy = false;
     auto it = pending_.find(job.ticket);
     PDM_ASSERT(it != pending_.end(), "completion for unknown ticket");
-    if (--it->second == 0) {
+    if (--it->second.outstanding == 0) {
+      // Ticket fully complete: attribute its submit->complete latency.
+      // Measured with chrono directly so the histogram works even in
+      // tracing-disabled builds; the retro-span reuses the same duration.
+      const auto lat = std::chrono::steady_clock::now() - it->second.t_submit;
+      const u64 lat_ns = lat.count() > 0
+                             ? static_cast<u64>(
+                                   std::chrono::duration_cast<
+                                       std::chrono::nanoseconds>(lat)
+                                       .count())
+                             : 0;
+      (it->second.is_write ? write_ticket_ns_ : read_ticket_ns_)
+          .record(lat_ns);
+      if (trace::TraceLog::instance().enabled()) {
+        const u64 now_ns = trace::TraceLog::now_ns();
+        const u64 dur = std::min(now_ns, lat_ns);
+        trace::TraceLog::instance().complete(
+            "io", it->second.is_write ? "write_ticket" : "read_ticket",
+            now_ns - dur, dur, "ticket", job.ticket);
+      }
       pending_.erase(it);
       done_cv_.notify_all();
     }

@@ -28,6 +28,7 @@
 // rethrown on the next wait()/drain()/submission.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "pdm/io_scheduler.h"
+#include "util/metrics.h"
 
 namespace pdm {
 
@@ -102,6 +104,14 @@ class AsyncIoScheduler {
     std::deque<Job> jobs;
     bool busy = false;  // a worker is executing this disk's front job
   };
+  /// Outstanding per-disk job count for one ticket, plus what the
+  /// observability layer needs to attribute the ticket at completion:
+  /// the submit timestamp (submit->complete latency) and the direction.
+  struct PendingTicket {
+    usize outstanding = 0;
+    bool is_write = false;
+    std::chrono::steady_clock::time_point t_submit;
+  };
 
   template <class Req>
   IoTicket submit(std::span<const Req> reqs);
@@ -119,7 +129,12 @@ class AsyncIoScheduler {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: a job may be runnable
   std::condition_variable done_cv_;  // waiters: a ticket completed
-  std::unordered_map<u64, usize> pending_;  // ticket -> outstanding jobs
+  std::unordered_map<u64, PendingTicket> pending_;  // ticket -> in flight
+
+  // Ticket submit->complete latency distributions (registry-owned; cached
+  // references so the hot completion path skips the name lookup).
+  metrics::LogHistogram& read_ticket_ns_;
+  metrics::LogHistogram& write_ticket_ns_;
   u64 next_ticket_ = 0;
   u32 scan_cursor_ = 0;  // round-robin fairness over disk queues
   bool stop_ = false;

@@ -36,6 +36,7 @@
 #include "internal/insort.h"
 #include "pdm/memory_budget.h"
 #include "primitives/stream.h"
+#include "util/trace.h"
 
 namespace pdm {
 
@@ -61,6 +62,7 @@ CleanupOutcome streamed_cleanup(PdmContext& ctx, ChunkSource<R>& source,
   PDM_CHECK(chunk > 0, "cleanup chunk must be positive");
   PDM_CHECK(source.chunk_records() <= chunk,
             "source chunks larger than cleanup chunk");
+  trace::TraceSpan trace_span("pass", "cleanup", "chunk_records", chunk);
 
   TrackedBuffer<R> window(ctx.budget(), 2 * chunk);
   // Optional scratch for the parallel window sort (documented extra slack).

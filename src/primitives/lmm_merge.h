@@ -100,6 +100,7 @@ CleanupOutcome lmm_merge_from_parts(PdmContext& ctx,
   // Pass B: several groups share one memory load whenever a group is
   // smaller than M, so both the batched read and the batched write stay
   // D-wide even when l*part_len << M (e.g. few runs on many disks).
+  trace::TraceSpan trace_span("pass", "lmm_group_merge", "groups", m);
   std::vector<StripedRun<R>> q;
   q.reserve(m);
   for (usize j = 0; j < m; ++j) {
@@ -147,6 +148,7 @@ CleanupOutcome lmm_merge_from_parts(PdmContext& ctx,
     }
     for (auto& qj : q) qj.finish();
   }
+  trace_span.end();
 
   // Pass C: shuffle + window cleanup; dirty length <= l*m.
   const u64 chunk = round_down(mem, static_cast<u64>(m) * rpb);
@@ -201,6 +203,7 @@ CleanupOutcome lmm_merge(PdmContext& ctx, std::span<const StripedRun<R>> runs,
   // over all disks (otherwise sub-D batches would inflate the pass count).
   const u64 load_sz = round_down(mem, m * rpb);
   PDM_CHECK(load_sz > 0, "memory too small for unshuffle load");
+  trace::TraceSpan trace_span("pass", "lmm_unshuffle", "runs", l);
   FormedRuns<R> parts(l);
   for (usize i = 0; i < l; ++i) {
     parts[i].reserve(static_cast<usize>(m));
@@ -266,6 +269,7 @@ CleanupOutcome lmm_merge(PdmContext& ctx, std::span<const StripedRun<R>> runs,
       for (auto& part : run_parts) part.finish();
     }
   }
+  trace_span.end();
 
   LmmOptions bopt = opt;
   bopt.m = m;

@@ -28,6 +28,7 @@
 #include "pdm/memory_budget.h"
 #include "pdm/prefetch_buffer.h"
 #include "primitives/stream.h"
+#include "util/trace.h"
 
 namespace pdm {
 
@@ -47,6 +48,7 @@ void multiway_merge_pass(PdmContext& ctx,
   const usize rpb = ctx.rpb<R>();
   const usize k = runs.size();
   PDM_CHECK(k > 0, "no runs to merge");
+  trace::TraceSpan trace_span("pass", "merge_pass", "fan_in", k);
   const usize slots = k * (1 + opt.lookahead);
   PDM_CHECK(static_cast<u64>(slots + ctx.D()) * rpb <= opt.mem_records,
             "merge buffers exceed memory (reduce fan-in or lookahead)");

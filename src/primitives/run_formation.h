@@ -15,6 +15,7 @@
 #include "pdm/prefetch_buffer.h"
 #include "pdm/striped_run.h"
 #include "util/math_util.h"
+#include "util/trace.h"
 
 namespace pdm {
 
@@ -62,6 +63,7 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
   PDM_CHECK(n > 0, "empty input");
   const u64 num_runs = ceil_div(n, run_len);
   const u64 blocks_per_run = run_len / rpb;
+  trace::TraceSpan trace_span("pass", "run_formation", "records", n);
 
   TrackedBuffer<R> load(ctx.budget(), static_cast<usize>(run_len));
   TrackedBuffer<R> scratch;

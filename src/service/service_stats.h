@@ -40,7 +40,11 @@ struct ServiceStats {
   /// the backend is slower than the CostModel believes.
   double deadline_cal = 0;
 
-  double queue_p50_s = 0;  // over recent jobs that reached a worker
+  /// Queue-latency distribution over the service's LIFETIME (every job
+  /// that went kDone/kFailed), from a log-bucketed histogram: p50/p99 are
+  /// within the bucket resolution (~6%), max is exact and can never be
+  /// evicted by later samples.
+  double queue_p50_s = 0;
   double queue_p99_s = 0;
   double queue_max_s = 0;
 

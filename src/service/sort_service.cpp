@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "util/trace.h"
+
 namespace pdm {
 
 namespace {
@@ -148,22 +150,32 @@ bool SortService::queue_before(const Job& a, const Job& b) const {
   return a.id < b.id;
 }
 
-double SortService::estimate_run_s(const Job& job) {
+double SortService::estimate_run_s(const SortJobSpec& spec, usize record_bytes,
+                                   u64 n) {
   const usize bb = backend_->block_bytes();
-  if (job.record_bytes == 0 || bb % job.record_bytes != 0) return 0;
-  const u64 rpb = bb / job.record_bytes;
+  if (record_bytes == 0 || bb % record_bytes != 0) return 0;
+  const u64 rpb = bb / record_bytes;
   PlanEntry e;
   try {
-    e = plans_.entry(job.n, job.spec.mem_records, rpb, job.spec.alpha);
+    e = plans_.entry(n, spec.mem_records, rpb, spec.alpha);
   } catch (const Error&) {
     return 0;  // no feasible plan: the job fails on a worker, as always
   }
   // A pass is N/(D*B) parallel reads plus as many writes, each costing one
   // seek + one block transfer under the service's cost model.
   const double rounds_per_pass =
-      std::ceil(static_cast<double>(job.n) /
+      std::ceil(static_cast<double>(n) /
                 (static_cast<double>(rpb) * backend_->num_disks()));
   return e.expected_passes * 2.0 * rounds_per_pass * cfg_.cost.round_cost(bb);
+}
+
+double SortService::estimate_run_s(const Job& job) {
+  return estimate_run_s(job.spec, job.record_bytes, job.n);
+}
+
+double SortService::deadline_cal() const {
+  std::lock_guard g(mu_);
+  return cal_ratio_;
 }
 
 JobId SortService::submit_impl(SortJobSpec spec, u64 n, usize record_bytes,
@@ -201,6 +213,7 @@ JobId SortService::submit_impl(SortJobSpec spec, u64 n, usize record_bytes,
     job->run = {};  // terminal: release the dataset the closure co-owns
     jobs_.emplace(id, job);
     on_terminal_locked(*job);
+    PDM_TRACE_INSTANT_ARG("service", "admission_reject", "job", id);
     return id;
   };
   if (job->carve_bytes > budget_.limit()) {
@@ -245,6 +258,7 @@ JobId SortService::submit_impl(SortJobSpec spec, u64 n, usize record_bytes,
   pending_.insert(pos, raw);
   jobs_.emplace(id, std::move(job));
   work_cv_.notify_one();
+  PDM_TRACE_INSTANT_ARG("service", "job_submitted", "job", id);
   return id;
 }
 
@@ -396,14 +410,11 @@ void SortService::on_terminal_locked(Job& job) {
   if (job.deadline_missed) ++deadline_missed_;
   if (job.state == JobState::kDone || job.state == JobState::kFailed) {
     const bool started = job.t_start != Clock::time_point{};
-    const double queue_s = started ? seconds(job.t_start - job.t_submit)
-                                   : seconds(job.t_end - job.t_submit);
-    if (queue_samples_.size() < kQueueSampleCap) {
-      queue_samples_.push_back(queue_s);
-    } else {
-      queue_samples_[queue_samples_next_] = queue_s;
-      queue_samples_next_ = (queue_samples_next_ + 1) % kQueueSampleCap;
-    }
+    const auto queued =
+        started ? job.t_start - job.t_submit : job.t_end - job.t_submit;
+    queue_hist_.record(static_cast<u64>(std::max<std::chrono::nanoseconds::rep>(
+        0, std::chrono::duration_cast<std::chrono::nanoseconds>(queued)
+               .count())));
   }
   ++retained_;
   terminal_fifo_.emplace_back(job.id, job.t_end);
@@ -454,11 +465,10 @@ ServiceStats SortService::stats() const {
   s.deadline_cal = cal_ratio_;
   s.peak_memory_bytes = budget_.peak();
   s.io = io_totals_.snapshot();
-  if (!queue_samples_.empty()) {
-    s.queue_p50_s = quantile(queue_samples_, 0.5);
-    s.queue_p99_s = quantile(queue_samples_, 0.99);
-    s.queue_max_s = *std::max_element(queue_samples_.begin(),
-                                      queue_samples_.end());
+  if (queue_hist_.count() > 0) {
+    s.queue_p50_s = static_cast<double>(queue_hist_.quantile(0.5)) * 1e-9;
+    s.queue_p99_s = static_cast<double>(queue_hist_.quantile(0.99)) * 1e-9;
+    s.queue_max_s = static_cast<double>(queue_hist_.max()) * 1e-9;
   }
   if (completed_ > 0 && any_start_) {
     s.busy_window_s = seconds(last_end_ - first_start_);
@@ -537,6 +547,7 @@ usize SortService::grant_depth_locked() {
 }
 
 void SortService::worker_loop() {
+  trace::TraceLog::instance().set_thread_name("svc-worker");
   std::unique_lock lock(mu_);
   for (;;) {
     Claim claim = try_claim_locked();
@@ -571,6 +582,8 @@ void SortService::worker_loop() {
 }
 
 void SortService::run_claim(Claim& claim, usize depth) {
+  trace::TraceSpan trace_span("service", "batch_execute", "jobs",
+                              claim.members.size());
   try {
     PdmContext ctx(backend_, alloc_, claim.carve, cfg_.cost,
                    cfg_.seed + claim.members.front()->id, &io_totals_);
@@ -606,6 +619,20 @@ void SortService::run_one(Job& job, PdmContext& ctx) {
       any_start_ = true;
     }
   }
+  if (trace::TraceLog::instance().enabled()) {
+    // Retroactive queue-wait span: submission happened on another thread,
+    // so the wait is emitted here as a complete event ending now.
+    const u64 queued_ns = static_cast<u64>(
+        std::max<std::chrono::nanoseconds::rep>(
+            0, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   job.t_start - job.t_submit)
+                   .count()));
+    const u64 now_ns = trace::TraceLog::now_ns();
+    trace::TraceLog::instance().complete(
+        "service", "queue_wait", now_ns - std::min(now_ns, queued_ns),
+        queued_ns, "job", job.id);
+  }
+  trace::TraceSpan trace_span("service", "job_run", "job", job.id);
   // This member's cooperative cancellation flag; cleared before the
   // (batch-shared) context moves on to the next member.
   ctx.set_cancel_flag(&job.cancel_flag);
@@ -646,6 +673,7 @@ void SortService::run_one(Job& job, PdmContext& ctx) {
   ctx.set_cancel_flag(nullptr);
   const IoStats after = ctx.stats();
   const auto end = Clock::now();
+  trace_span.end();
 
   std::lock_guard g(mu_);
   job.t_end = end;

@@ -49,6 +49,7 @@
 #include "pdm/striped_run.h"
 #include "service/service_stats.h"
 #include "service/sort_job.h"
+#include "util/metrics.h"
 
 namespace pdm {
 
@@ -265,7 +266,8 @@ class SortService {
 
   /// Aggregate snapshot. O(1) in the number of retained job records: the
   /// counters are maintained at terminal transitions, and the queue
-  /// percentiles come from a bounded ring of recent samples.
+  /// percentiles come from a lifetime log-bucketed histogram (exact count/
+  /// max; quantiles within the histogram's ~6% bucket resolution).
   ServiceStats stats() const;
 
   /// Per-job snapshots of every retained job, in submission order.
@@ -283,6 +285,17 @@ class SortService {
   /// they fit.
   usize admission_carve(const SortJobSpec& spec, usize record_bytes,
                         u64 n = 0) const;
+
+  /// Model-time estimate of `spec`'s run (the deadline-admission term):
+  /// planned pass count under the cached/derived plan times the parallel-
+  /// op cost of `cost`. 0 when the shape defeats estimation. The cluster
+  /// pump multiplies this by deadline_cal() to decide whether a parked job
+  /// can still meet its deadline.
+  double estimate_run_s(const SortJobSpec& spec, usize record_bytes, u64 n);
+
+  /// EMA of observed wall seconds per modeled second over completed jobs
+  /// (see ServiceConfig::deadline_calibration); 0 until the first sample.
+  double deadline_cal() const;
 
   /// The service-wide budget (reservations; peak = admission pressure).
   MemoryBudget& budget() noexcept { return budget_; }
@@ -355,9 +368,10 @@ class SortService {
   /// Capacity-freed hook (cluster hold-queue pump); guarded by mu_,
   /// invoked outside it.
   std::function<void()> capacity_cb_;
-  std::vector<double> queue_samples_;  // ring of recent queue latencies
-  usize queue_samples_next_ = 0;
-  static constexpr usize kQueueSampleCap = 4096;
+  /// Lifetime queue-latency histogram (nanoseconds). Unlike the bounded
+  /// sample ring it replaced, p50/p99 cover every terminal job and the
+  /// max can never be evicted by later samples.
+  metrics::LogHistogram queue_hist_;
   std::deque<std::pair<JobId, Clock::time_point>> terminal_fifo_;
 };
 

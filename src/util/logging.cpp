@@ -40,9 +40,20 @@ namespace detail {
 
 void log_emit(LogLevel level, const std::string& msg) {
   static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  // Build the whole line first and emit it as ONE stream write. std::cerr is
+  // unit-buffered: with piecewise insertion each `<<` reaches the terminal
+  // separately, so output from threads writing to cerr outside this mutex
+  // (tests redirecting rdbuf, third-party code) could land mid-line.
+  std::string line;
+  line.reserve(msg.size() + 24);
+  line += "[pdmsort ";
+  line += names[static_cast<int>(level)];
+  line += "] ";
+  line += msg;
+  line += '\n';
   std::lock_guard lock(g_emit_mu);
-  std::cerr << "[pdmsort " << names[static_cast<int>(level)] << "] " << msg
-            << "\n";
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+  std::cerr.flush();
 }
 
 }  // namespace detail

@@ -1,0 +1,90 @@
+#include "util/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/trace.h"
+
+namespace pdm::metrics {
+
+std::uint64_t LogHistogram::bucket_midpoint(std::size_t index) {
+  if (index < kSub) return index;
+  const unsigned octave = static_cast<unsigned>(index / kSub);
+  const std::uint64_t sub = index % kSub;
+  const std::uint64_t width = std::uint64_t{1} << (octave - kSubBits);
+  const std::uint64_t lo = (std::uint64_t{1} << octave) + sub * width;
+  return lo + width / 2;
+}
+
+std::uint64_t LogHistogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q >= 1.0) return max();
+  if (q < 0.0) q = 0.0;
+  // Nearest-rank: the ceil(q*n)-th smallest sample (1-based), min rank 1.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_midpoint(i);
+  }
+  return max();  // racing writers: fall back to the tracked max
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LogHistogram& Registry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LogHistogram>();
+  return *slot;
+}
+
+std::string Registry::text() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_)
+    os << "counter " << name << ' ' << c->value() << '\n';
+  for (const auto& [name, g] : gauges_)
+    os << "gauge " << name << ' ' << g->value() << '\n';
+  for (const auto& [name, h] : histograms_) {
+    os << "hist " << name << " count=" << h->count() << " sum=" << h->sum()
+       << " mean=" << h->mean() << " p50=" << h->quantile(0.5)
+       << " p90=" << h->quantile(0.9) << " p99=" << h->quantile(0.99)
+       << " max=" << h->max() << '\n';
+  }
+  return os.str();
+}
+
+Registry& Registry::global() {
+  static Registry* reg = new Registry();  // leaked: usable during static dtors
+  return *reg;
+}
+
+namespace {
+
+void span_sink(const char* name, std::uint64_t dur_ns) {
+  Registry::global().histogram(std::string("span.") + name).record(dur_ns);
+}
+
+}  // namespace
+
+void install_span_histograms() {
+  trace::set_span_sink(&span_sink);
+}
+
+}  // namespace pdm::metrics

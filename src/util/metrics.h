@@ -1,0 +1,120 @@
+// Process-wide metrics: named counters, gauges, and log-bucketed histograms
+// with a text exposition dump. Histograms are lifetime-exact in count/sum/max
+// and bound quantile error by bucket shape (8 linear sub-buckets per
+// power-of-two octave => representative values within ~6.3% of the true
+// sample), so p50/p99 never lose the tail the way a bounded sample ring does.
+//
+// All mutation paths are lock-free atomics; registry lookup (name -> series)
+// takes a mutex and is meant for setup/infrequent paths, so callers on hot
+// paths should capture the returned reference once (references are stable for
+// the registry's lifetime).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace pdm::metrics {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Log-bucketed histogram over u64 values. Values 0..7 get exact buckets;
+// larger values land in (octave, sub-bucket) cells where octave =
+// floor(log2(v)) and the sub-bucket is the next 3 bits, i.e. 8 linear cells
+// per octave. quantile() walks the cells nearest-rank style and returns the
+// cell midpoint (exact for 0..7; quantile(1) returns the exact max).
+class LogHistogram {
+ public:
+  static constexpr std::size_t kSubBits = 3;
+  static constexpr std::size_t kSub = 1u << kSubBits;  // 8
+  static constexpr std::size_t kBuckets = 64 * kSub;   // octave * 8 + sub
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  // Nearest-rank quantile, q in [0, 1]. Concurrent record() calls may skew a
+  // live read by the in-flight samples; exact once writers are quiet.
+  std::uint64_t quantile(double q) const;
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const unsigned octave = std::bit_width(v) - 1;  // >= kSubBits
+    const std::uint64_t sub = (v >> (octave - kSubBits)) & (kSub - 1);
+    return octave * kSub + static_cast<std::size_t>(sub);
+  }
+  // Midpoint of the bucket's value range (exact for the 0..7 buckets).
+  static std::uint64_t bucket_midpoint(std::size_t index);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// Named series. Lookup creates on first use; returned references stay valid
+// for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LogHistogram& histogram(const std::string& name);
+
+  // Text exposition, one series per line, sorted by name:
+  //   counter <name> <value>
+  //   gauge <name> <value>
+  //   hist <name> count=N sum=S mean=M p50=... p90=... p99=... max=...
+  std::string text() const;
+
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+// Route trace-span durations into `span.<name>` histograms of the global
+// registry (installs the pdm::trace span sink). Idempotent.
+void install_span_histograms();
+
+}  // namespace pdm::metrics

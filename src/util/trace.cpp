@@ -1,0 +1,350 @@
+#include "util/trace.h"
+
+#if PDMSORT_TRACING
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace pdm::trace {
+namespace {
+
+constexpr std::size_t kRingCapacity = 16384;  // events per thread
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Touch the epoch at static-init time so the first span does not pay for it.
+[[maybe_unused]] const auto g_epoch_init = process_epoch();
+
+std::atomic<SpanSink> g_span_sink{nullptr};
+
+struct Ring {
+  explicit Ring(std::uint32_t tid_in) : tid(tid_in) { events.resize(kRingCapacity); }
+  mutable std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t head = 0;  // total events ever pushed; slot = head % capacity
+  std::uint32_t tid;
+  char thread_name[TraceEvent::kNameBuf] = {0};
+
+  void push(const TraceEvent& ev) {
+    std::lock_guard lock(mu);
+    events[head % kRingCapacity] = ev;
+    ++head;
+  }
+};
+
+}  // namespace
+
+// Per-thread slot: the ring is created lazily on the first recorded event,
+// so threads that only name themselves (or never trace) cost no ring memory.
+struct LocalSlot {
+  std::shared_ptr<Ring> ring;
+  char pending_name[TraceEvent::kNameBuf] = {0};
+};
+
+LocalSlot& local_slot() {
+  thread_local LocalSlot slot;
+  return slot;
+}
+
+struct TraceLog::Impl {
+  std::atomic<bool> enabled{false};
+  mutable std::mutex registry_mu;
+  // shared_ptr so rings survive thread exit until snapshot/clear.
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::uint32_t next_tid = 1;
+
+  Ring& local_ring() {
+    LocalSlot& slot = local_slot();
+    if (!slot.ring) {
+      std::lock_guard lock(registry_mu);
+      slot.ring = std::make_shared<Ring>(next_tid++);
+      std::memcpy(slot.ring->thread_name, slot.pending_name,
+                  TraceEvent::kNameBuf);
+      rings.push_back(slot.ring);
+    }
+    return *slot.ring;
+  }
+
+  std::vector<std::shared_ptr<Ring>> ring_snapshot() const {
+    std::lock_guard lock(registry_mu);
+    return rings;
+  }
+};
+
+TraceLog::TraceLog() : impl_(new Impl) {}
+
+TraceLog& TraceLog::instance() {
+  static TraceLog* log = new TraceLog();  // leaked: usable during static dtors
+  return *log;
+}
+
+void TraceLog::set_enabled(bool on) {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+bool TraceLog::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void TraceLog::clear() {
+  auto rings = impl_->ring_snapshot();
+  for (auto& r : rings) {
+    std::lock_guard lock(r->mu);
+    r->head = 0;
+  }
+}
+
+std::uint64_t TraceLog::dropped() const {
+  std::uint64_t total = 0;
+  for (auto& r : impl_->ring_snapshot()) {
+    std::lock_guard lock(r->mu);
+    if (r->head > kRingCapacity) total += r->head - kRingCapacity;
+  }
+  return total;
+}
+
+std::uint64_t TraceLog::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - process_epoch())
+          .count());
+}
+
+void TraceLog::complete(const char* cat, const char* name, std::uint64_t ts_ns,
+                        std::uint64_t dur_ns, const char* arg0_name,
+                        std::uint64_t arg0, const char* arg1_name,
+                        std::uint64_t arg1) {
+  if (!enabled()) return;
+  Ring& ring = impl_->local_ring();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'X';
+  ev.tid = ring.tid;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.arg0_name = arg0_name;
+  ev.arg0 = arg0;
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  ring.push(ev);
+  if (SpanSink sink = g_span_sink.load(std::memory_order_acquire))
+    sink(name, dur_ns);
+}
+
+void TraceLog::complete_dyn(const char* cat, const std::string& name,
+                            std::uint64_t ts_ns, std::uint64_t dur_ns,
+                            const char* arg0_name, std::uint64_t arg0) {
+  if (!enabled()) return;
+  Ring& ring = impl_->local_ring();
+  TraceEvent ev;
+  ev.name = nullptr;
+  std::strncpy(ev.name_buf, name.c_str(), TraceEvent::kNameBuf - 1);
+  ev.cat = cat;
+  ev.ph = 'X';
+  ev.tid = ring.tid;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.arg0_name = arg0_name;
+  ev.arg0 = arg0;
+  ring.push(ev);
+  if (SpanSink sink = g_span_sink.load(std::memory_order_acquire))
+    sink(ev.name_buf, dur_ns);
+}
+
+void TraceLog::instant(const char* cat, const char* name,
+                       const char* arg0_name, std::uint64_t arg0,
+                       const char* arg1_name, std::uint64_t arg1) {
+  if (!enabled()) return;
+  Ring& ring = impl_->local_ring();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'i';
+  ev.tid = ring.tid;
+  ev.ts_ns = now_ns();
+  ev.arg0_name = arg0_name;
+  ev.arg0 = arg0;
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  ring.push(ev);
+}
+
+void TraceLog::counter(const char* cat, const char* name, std::uint64_t value) {
+  if (!enabled()) return;
+  Ring& ring = impl_->local_ring();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'C';
+  ev.tid = ring.tid;
+  ev.ts_ns = now_ns();
+  ev.arg0_name = "value";
+  ev.arg0 = value;
+  ring.push(ev);
+}
+
+void TraceLog::counter_dyn(const char* cat, const std::string& name,
+                           std::uint64_t value) {
+  if (!enabled()) return;
+  Ring& ring = impl_->local_ring();
+  TraceEvent ev;
+  ev.name = nullptr;
+  std::strncpy(ev.name_buf, name.c_str(), TraceEvent::kNameBuf - 1);
+  ev.cat = cat;
+  ev.ph = 'C';
+  ev.tid = ring.tid;
+  ev.ts_ns = now_ns();
+  ev.arg0_name = "value";
+  ev.arg0 = value;
+  ring.push(ev);
+}
+
+void TraceLog::set_thread_name(const char* name) {
+  LocalSlot& slot = local_slot();
+  if (slot.ring) {
+    std::lock_guard lock(slot.ring->mu);
+    std::strncpy(slot.ring->thread_name, name, TraceEvent::kNameBuf - 1);
+  } else {
+    // No ring yet (tracing may be off): stash the name; local_ring() copies
+    // it over if this thread ever records.
+    std::strncpy(slot.pending_name, name, TraceEvent::kNameBuf - 1);
+  }
+}
+
+std::vector<TraceEvent> TraceLog::snapshot() const {
+  std::vector<TraceEvent> out;
+  for (auto& r : impl_->ring_snapshot()) {
+    std::lock_guard lock(r->mu);
+    const std::uint64_t n = std::min<std::uint64_t>(r->head, kRingCapacity);
+    const std::uint64_t start = r->head - n;
+    for (std::uint64_t i = start; i < r->head; ++i)
+      out.push_back(r->events[i % kRingCapacity]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';  // control chars never appear in our names; keep it simple
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+// ts/dur in microseconds with nanosecond precision, no float rounding.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns / 100) % 10)
+     << static_cast<char>('0' + (ns / 10) % 10)
+     << static_cast<char>('0' + ns % 10);
+}
+
+}  // namespace
+
+void TraceLog::write_chrome_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata rows first.
+  for (auto& r : impl_->ring_snapshot()) {
+    std::lock_guard lock(r->mu);
+    if (r->thread_name[0] == '\0') continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << r->tid
+       << ",\"args\":{\"name\":";
+    write_json_string(os, r->thread_name);
+    os << "}}";
+  }
+  for (const TraceEvent& ev : snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    write_json_string(os, ev.name_str());
+    os << ",\"cat\":";
+    write_json_string(os, ev.cat);
+    os << ",\"ph\":\"" << ev.ph << "\",\"pid\":1,\"tid\":" << ev.tid
+       << ",\"ts\":";
+    write_us(os, ev.ts_ns);
+    if (ev.ph == 'X') {
+      os << ",\"dur\":";
+      write_us(os, ev.dur_ns);
+    }
+    if (ev.ph == 'i') os << ",\"s\":\"t\"";
+    if (ev.arg0_name != nullptr || ev.arg1_name != nullptr) {
+      os << ",\"args\":{";
+      if (ev.arg0_name != nullptr) {
+        write_json_string(os, ev.arg0_name);
+        os << ':' << ev.arg0;
+      }
+      if (ev.arg1_name != nullptr) {
+        if (ev.arg0_name != nullptr) os << ',';
+        write_json_string(os, ev.arg1_name);
+        os << ':' << ev.arg1;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+bool TraceLog::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  write_chrome_json(out);
+  return out.good();
+}
+
+TraceSpan::TraceSpan(const char* cat, const char* name, const char* arg0_name,
+                     std::uint64_t arg0)
+    : cat_(cat),
+      name_(name),
+      arg0_name_(arg0_name),
+      arg0_(arg0),
+      start_ns_(0),
+      active_(TraceLog::instance().enabled()) {
+  if (active_) start_ns_ = TraceLog::now_ns();
+}
+
+void TraceSpan::end() {
+  if (!active_) return;
+  active_ = false;
+  const std::uint64_t end_ns = TraceLog::now_ns();
+  TraceLog::instance().complete(cat_, name_, start_ns_, end_ns - start_ns_,
+                                arg0_name_, arg0_);
+}
+
+void TraceSpan::set_arg(const char* name, std::uint64_t value) {
+  arg0_name_ = name;
+  arg0_ = value;
+}
+
+void set_span_sink(SpanSink sink) {
+  g_span_sink.store(sink, std::memory_order_release);
+}
+
+}  // namespace pdm::trace
+
+#endif  // PDMSORT_TRACING
