@@ -48,12 +48,9 @@ int main(int argc, char** argv) {
          "backend.");
 
   // --trace_out=FILE enables the phase tracer for the whole bench and
-  // dumps Chrome trace_event JSON at exit (chrome://tracing / Perfetto).
-  const std::string trace_out = cli.get("trace_out", "");
-  if (!trace_out.empty()) {
-    trace::TraceLog::instance().set_enabled(true);
-    trace::TraceLog::instance().set_thread_name("bench-main");
-  }
+  // dumps Chrome trace_event JSON at exit (chrome://tracing / Perfetto);
+  // --metrics=1 prints the metrics registry after the run.
+  const std::string trace_out = trace_begin(cli);
 
   const u64 mem = cli.get_u64("m", 16384);
   const auto g = Geom::square(mem);
@@ -137,7 +134,7 @@ int main(int argc, char** argv) {
   // identical; only the wall clock may move.
   const u64 latency_us = cli.get_u64("latency_us", 200);
   const usize async_depth = static_cast<usize>(cli.get_u64("async_depth", 4));
-  const std::string json_out = cli.get("json_out", "BENCH_PR6.json");
+  const std::string json_out = cli.get("json_out", "BENCH_PR8.json");
   std::cout << "\n-- async pipeline overlap (memory backend, simulated "
             << latency_us << "us/op latency, depth " << async_depth
             << ") --\n";
@@ -227,15 +224,6 @@ int main(int argc, char** argv) {
          "to the latency fraction of the run — prefetch and write-behind "
          "overlap the simulated positioning delay with computation and "
          "across the D disks.\n";
-  if (!trace_out.empty()) {
-    if (trace::TraceLog::instance().write_chrome_json(trace_out)) {
-      std::cout << "wrote trace -> " << trace_out << " ("
-                << trace::TraceLog::instance().snapshot().size()
-                << " events)\n";
-    } else {
-      std::cerr << "trace: could not write " << trace_out << "\n";
-      return 1;
-    }
-  }
+  observability_finish(cli, trace_out);
   return 0;
 }

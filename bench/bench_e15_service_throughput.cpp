@@ -26,7 +26,10 @@ int main(int argc, char** argv) {
   const u64 latency_us = cli.get_u64("latency_us", 200);
   const u64 num_jobs = cli.get_u64("jobs", 8);
   const double gate = cli.get_double("gate", 1.3);
-  const std::string json_out = cli.get("json_out", "BENCH_PR6.json");
+  const std::string json_out = cli.get("json_out", "BENCH_PR8.json");
+  // --trace_out=FILE / --metrics=1: phase-tracer dump and metrics
+  // registry exposition (shared serving-bench flags, bench_support.h).
+  const std::string trace_out = trace_begin(cli);
 
   // The job mix: alternating medium (4M) and large (8M) u64 sorts, all
   // block- and M-aligned so the planner stays on the paper algorithms.
@@ -134,6 +137,11 @@ int main(int argc, char** argv) {
     json_file_update(json_out, "e15_service_throughput", jw.str());
     std::cout << "wrote section e15_service_throughput -> " << json_out
               << "\n";
+    // Attach the metrics registry snapshot so the perf JSON carries its
+    // counters (queue-wait histograms, tenant rollups, trace drops) next
+    // to the timings.
+    json_file_update(json_out, "metrics", metrics_json_section());
+    std::cout << "wrote section metrics -> " << json_out << "\n";
   }
   std::cout << "throughput gate (4 workers vs serial): " << speedup_at_4
             << "x, need >= " << gate << "x: "
@@ -141,5 +149,6 @@ int main(int argc, char** argv) {
             << "\n";
   PDM_CHECK(gate <= 0 || speedup_at_4 >= gate,
             "E15 gate failed: concurrent throughput below threshold");
+  observability_finish(cli, trace_out);
   return 0;
 }

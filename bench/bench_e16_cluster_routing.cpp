@@ -68,7 +68,10 @@ int main(int argc, char** argv) {
   const double gate = cli.get_double("gate", 1.5);
   const double elastic_gate = cli.get_double("elastic_gate", 1.2);
   const bool file_arm = cli.get_u64("file_arm", 1) != 0;
-  const std::string json_out = cli.get("json_out", "BENCH_PR6.json");
+  const std::string json_out = cli.get("json_out", "BENCH_PR8.json");
+  // --trace_out=FILE / --metrics=1: phase-tracer dump and metrics
+  // registry exposition (shared serving-bench flags, bench_support.h).
+  const std::string trace_out = trace_begin(cli);
 
   StreamModel stream;
   stream.seq_us = cli.get_u64("seq_us", 10);
@@ -405,5 +408,6 @@ int main(int argc, char** argv) {
   PDM_CHECK(elastic_gate <= 0 || elastic_speedup >= elastic_gate,
             "E16 elasticity gate failed: live scale-out below the static "
             "2-shard baseline threshold");
+  observability_finish(cli, trace_out);
   return 0;
 }

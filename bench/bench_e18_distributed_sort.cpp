@@ -50,7 +50,10 @@ int main(int argc, char** argv) {
   const u32 oversample = static_cast<u32>(cli.get_u64("oversample", 64));
   const u64 repeats = cli.get_u64("repeats", 3);
   const double gate = cli.get_double("dist_gate", 2.5);
-  const std::string json_out = cli.get("json_out", "BENCH_PR6.json");
+  const std::string json_out = cli.get("json_out", "BENCH_PR8.json");
+  // --trace_out=FILE / --metrics=1: phase-tracer dump and metrics
+  // registry exposition (shared serving-bench flags, bench_support.h).
+  const std::string trace_out = trace_begin(cli);
   PDM_CHECK(n % mem == 0, "E18: n must be a multiple of m");
 
   Rng rng(18);
@@ -213,5 +216,6 @@ int main(int argc, char** argv) {
             << (gate <= 0 || speedup >= gate ? "PASS" : "FAIL") << "\n";
   PDM_CHECK(gate <= 0 || speedup >= gate,
             "E18 gate failed: distributed speedup below threshold");
+  observability_finish(cli, trace_out);
   return 0;
 }

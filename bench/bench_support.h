@@ -21,8 +21,10 @@
 #include "pdm/striped_run.h"
 #include "util/cli.h"
 #include "util/generators.h"
+#include "util/metrics.h"
 #include "util/table.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace pdm::bench {
 
@@ -263,6 +265,48 @@ inline void json_file_update(const std::string& path, const std::string& key,
         << (e + 1 < entries.size() ? ",\n" : "\n");
   }
   out << "}\n";
+}
+
+/// Observability flag parity across the serving benches:
+/// --trace_out=FILE enables the phase tracer for the whole bench;
+/// --metrics=1 prints the metrics registry after the run. Call
+/// trace_begin() before the workload and observability_finish() at exit
+/// (it writes the Chrome JSON and/or the registry text as requested).
+inline std::string trace_begin(const Cli& cli) {
+  const std::string trace_out = cli.get("trace_out", "");
+  if (!trace_out.empty()) {
+    trace::TraceLog::instance().set_enabled(true);
+    trace::TraceLog::instance().set_thread_name("bench-main");
+  }
+  return trace_out;
+}
+
+inline void observability_finish(const Cli& cli,
+                                 const std::string& trace_out) {
+  if (cli.get_u64("metrics", 0) != 0) {
+    std::cout << "\n-- metrics --\n" << metrics::Registry::global().text();
+  }
+  if (!trace_out.empty()) {
+    if (trace::TraceLog::instance().write_chrome_json(trace_out)) {
+      std::cout << "wrote trace -> " << trace_out << " ("
+                << trace::TraceLog::instance().snapshot().size()
+                << " events, " << trace::TraceLog::instance().dropped()
+                << " dropped)\n";
+    } else {
+      std::cerr << "trace: could not write " << trace_out << "\n";
+    }
+  }
+}
+
+/// Metrics registry snapshot as a one-key JSON object (the exposition
+/// text, newline-escaped) — attached to the bench JSON so a perf run
+/// carries its counters next to its timings.
+inline std::string metrics_json_section() {
+  JsonWriter jm;
+  jm.begin_obj();
+  jm.key("registry_text").value(metrics::Registry::global().text());
+  jm.end_obj();
+  return jm.str();
 }
 
 }  // namespace pdm::bench

@@ -7,25 +7,42 @@
 //   ./example_cluster_serve --shards=2 --policy=locality_hash
 //   ./example_cluster_serve --tenants=12 --jobs=64 --seek_us=400
 //   ./example_cluster_serve --trace-out=trace.json --metrics=1
+//   ./example_cluster_serve --introspect-every=1 --force-deadline-miss=1
 //
 // --trace-out=FILE enables the phase tracer and dumps Chrome trace_event
 // JSON on exit (open in chrome://tracing or https://ui.perfetto.dev);
 // --metrics=1 prints the metrics registry (counters/gauges/histograms,
-// per-span totals) after the run.
+// per-span totals) after the run. --introspect-every=N prints a live
+// introspect::StateDump every N seconds while the workload runs; SIGUSR1
+// triggers one on demand at any time. --force-deadline-miss=1 submits an
+// extra job with an unmeetable deadline and prints its flight-recorder
+// dump after the run (the black box a server would emit on a bad end).
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "pdm/backend_factory.h"
 #include "util/cli.h"
 #include "util/generators.h"
+#include "util/jobtrace.h"
 #include "util/table.h"
 #include "util/trace.h"
 
 using namespace pdm;
+
+namespace {
+
+// SIGUSR1 -> dump on the next monitor poll (signal-safe: flag set only).
+volatile std::sig_atomic_t g_introspect_requested = 0;
+void on_sigusr1(int) { g_introspect_requested = 1; }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
@@ -39,10 +56,13 @@ int main(int argc, char** argv) {
       route_policy_from_name(cli.get("policy", "least_loaded"));
   const std::string trace_out = cli.get("trace-out", "");
   const bool print_metrics = cli.get_u64("metrics", 0) != 0;
+  const u64 introspect_every = cli.get_u64("introspect-every", 0);
+  const bool force_deadline_miss = cli.get_u64("force-deadline-miss", 0) != 0;
   if (!trace_out.empty()) {
     trace::TraceLog::instance().set_enabled(true);
     trace::TraceLog::instance().set_thread_name("main");
   }
+  std::signal(SIGUSR1, on_sigusr1);
 
   const u64 rpb = isqrt(mem);
   PDM_CHECK(rpb * rpb == mem, "--mem must be a perfect square");
@@ -74,6 +94,25 @@ int main(int argc, char** argv) {
             << (cfg.shard.total_memory_bytes >> 20) << " MiB per shard; "
             << num_jobs << " jobs from " << tenants << " tenants\n\n";
 
+  // Live introspection: a monitor thread polls ~5x/s, dumping the cluster
+  // state every --introspect-every seconds and whenever SIGUSR1 arrives.
+  std::atomic<bool> monitor_stop{false};
+  std::thread monitor([&] {
+    auto last = std::chrono::steady_clock::now();
+    while (!monitor_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      const auto now = std::chrono::steady_clock::now();
+      const bool periodic =
+          introspect_every > 0 &&
+          now - last >= std::chrono::seconds(introspect_every);
+      if (periodic || g_introspect_requested) {
+        g_introspect_requested = 0;
+        last = now;
+        std::cout << cluster.introspect_text();
+      }
+    }
+  });
+
   Rng rng(cli.get_u64("seed", 1));
   std::atomic<u64> verified{0};
   std::vector<JobId> ids;
@@ -94,7 +133,43 @@ int main(int argc, char** argv) {
           ++verified;
         }));
   }
+  // An extra job whose deadline cannot possibly be met: with admission
+  // control off it runs to completion, misses, and its flight ring ends
+  // in deadline_miss — the dump below is what a server's bad-end sink
+  // would emit.
+  JobId miss_id = 0;
+  if (force_deadline_miss) {
+    SortJobSpec spec;
+    spec.name = "forced-deadline-miss";
+    spec.mem_records = mem;
+    spec.locality_key = "tenant-0";
+    spec.deadline_s = 1e-6;
+    miss_id = cluster.submit<u64>(
+        spec, make_keys(static_cast<usize>(mem / 2), Dist::kZipf, rng),
+        std::less<u64>{}, [&verified](const SortResult<u64>& res) {
+          auto v = res.output.read_all();
+          for (usize i = 1; i < v.size(); ++i) {
+            PDM_CHECK(!(v[i] < v[i - 1]), "cluster output not sorted");
+          }
+          ++verified;
+        });
+  }
   cluster.drain();
+  monitor_stop.store(true);
+  monitor.join();
+  if (introspect_every > 0) {
+    // Final snapshot so short runs (which finish before the first periodic
+    // tick) still exercise and show the dump.
+    std::cout << cluster.introspect_text();
+  }
+
+  if (force_deadline_miss) {
+    const JobInfo mj = cluster.info(miss_id);
+    std::cout << "\n-- flight dump (forced deadline miss, state="
+              << job_state_name(mj.state)
+              << " missed=" << (mj.deadline_missed ? 1 : 0) << ") --\n"
+              << jobtrace::FlightRecorder::instance().dump_text(mj.trace_id);
+  }
 
   const ClusterStats st = cluster.stats();
   Table t({"shard", "jobs", "done", "failed", "jobs_per_sec", "queue_p99_ms",

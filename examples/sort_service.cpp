@@ -5,6 +5,10 @@
 //   ./example_sort_service                       # built-in mixed workload
 //   ./example_sort_service --workers=8 --latency_us=100
 //   ./example_sort_service --spec=workload.txt
+//   ./example_sort_service --trace-out=trace.json --metrics=1
+//
+// --trace-out=FILE enables the phase tracer and dumps Chrome trace_event
+// JSON on exit; --metrics=1 prints the metrics registry after the run.
 //
 // Spec file: one job per line, '#' comments:
 //   <name> <type:u64|kv64|i32> <n> <mem_records> [priority] [deadline_ms]
@@ -23,7 +27,9 @@
 #include "service/sort_service.h"
 #include "util/cli.h"
 #include "util/generators.h"
+#include "util/metrics.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 using namespace pdm;
 
@@ -84,6 +90,12 @@ int main(int argc, char** argv) {
   const u64 mem = cli.get_u64("mem", 4096);
   const auto jobs = cli.has("spec") ? parse_spec(cli.get("spec", ""))
                                     : default_workload(mem);
+  const std::string trace_out = cli.get("trace-out", "");
+  const bool print_metrics = cli.get_u64("metrics", 0) != 0;
+  if (!trace_out.empty()) {
+    trace::TraceLog::instance().set_enabled(true);
+    trace::TraceLog::instance().set_thread_name("main");
+  }
 
   const u64 s = isqrt(mem);
   PDM_CHECK(s * s == mem, "--mem must be a perfect square");
@@ -176,6 +188,19 @@ int main(int argc, char** argv) {
             << "service I/O: " << st.io.total_ops() << " parallel ops, "
             << st.io.total_blocks() << " blocks, utilization "
             << fmt_double(st.io.utilization(), 2) << "/" << disks << "\n";
+  if (print_metrics) {
+    std::cout << "\n-- metrics --\n" << metrics::Registry::global().text();
+  }
+  if (!trace_out.empty()) {
+    if (trace::TraceLog::instance().write_chrome_json(trace_out)) {
+      std::cout << "trace: wrote " << trace_out << " ("
+                << trace::TraceLog::instance().snapshot().size()
+                << " events, " << trace::TraceLog::instance().dropped()
+                << " dropped)\n";
+    } else {
+      std::cerr << "trace: could not write " << trace_out << "\n";
+    }
+  }
   // Nonzero exit on any failure so CI smoke runs catch regressions.
   if (st.failed != 0 || st.rejected != 0 ||
       verified.load() != st.completed) {

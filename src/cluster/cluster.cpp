@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/jobtrace.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -171,6 +172,8 @@ JobInfo Cluster::held_snapshot(const HeldJob& h, JobState state) {
   out.state = state;
   out.n = h.job.n;
   out.priority = h.job.spec.priority;
+  out.trace_id = h.job.spec.trace_id;
+  out.parent_trace_id = h.job.spec.parent_trace_id;
   out.queue_s = seconds(Clock::now() - h.t_submit);
   return out;
 }
@@ -185,6 +188,10 @@ bool Cluster::held_before(const HeldJob& a, const HeldJob& b) {
 
 void Cluster::hold_insert_locked(HeldJob h) {
   const JobId id = h.id;
+  jobtrace::FlightRecorder::instance().record(
+      h.job.spec.trace_id, jobtrace::EventKind::kParked,
+      h.park_reason.c_str(), h.home);
+  jobtrace::Scope scope(h.job.spec.trace_id, h.job.spec.parent_trace_id);
   auto pos = std::upper_bound(hold_.begin(), hold_.end(), h, held_before);
   hold_.insert(pos, std::move(h));
   PDM_TRACE_INSTANT_ARG("cluster", "job_parked", "job", id);
@@ -205,8 +212,12 @@ void Cluster::pump_locked() {
   std::vector<ShardLoad> loads(slots_.size());
   for (u32 s : act) loads[s] = slots_[s].service->load();
 
+  auto& flight = jobtrace::FlightRecorder::instance();
   for (usize i = 0; i < hold_.size();) {
     HeldJob& h = hold_[i];
+    // Stamp this iteration's instants/retro-spans with the held job's id.
+    jobtrace::Scope trace_scope(h.job.spec.trace_id,
+                                h.job.spec.parent_trace_id);
     auto carve_on = [&](u32 s) {
       return slots_[s].service->admission_carve(h.job.spec,
                                                 h.job.record_bytes, h.job.n);
@@ -244,6 +255,8 @@ void Cluster::pump_locked() {
                     std::to_string(est * cal) +
                     "s exceeds the deadline's remaining " +
                     std::to_string(std::max(0.0, remaining)) + "s";
+        flight.note_end(h.job.spec.trace_id, jobtrace::EventKind::kRejected,
+                        rec.error.c_str(), /*bad=*/true, h.home);
         PDM_TRACE_INSTANT_ARG("cluster", "held_rejected_deadline", "job",
                               h.id);
         add_record_locked(h.id, std::move(rec));
@@ -298,6 +311,8 @@ void Cluster::pump_locked() {
       rec.error =
           "admission control: no active shard can fit the job's memory "
           "carve (its fitting shards were drained)";
+      flight.note_end(h.job.spec.trace_id, jobtrace::EventKind::kRejected,
+                      rec.error.c_str(), /*bad=*/true, h.home);
       add_record_locked(h.id, std::move(rec));
       jobs_.erase(h.id);
       ++held_rejected_;
@@ -327,13 +342,22 @@ void Cluster::pump_locked() {
       trace::TraceLog::instance().complete("cluster", "hold_park",
                                            now_ns - dur, dur, "job", h.id);
     }
+    if (target != h.home) {
+      // Steal: record both shard ids — where the job was placed (home)
+      // and where it actually dispatched.
+      flight.record(h.job.spec.trace_id, jobtrace::EventKind::kStolen,
+                    nullptr, h.home, target);
+    }
+    flight.record(h.job.spec.trace_id, jobtrace::EventKind::kDispatched,
+                  nullptr, target);
     const JobId local =
         slots_[target].service->submit_prepared(std::move(h.job));
     jobs_[h.id] = Placement{target, local};
     ++jobs_per_shard_[target];
     if (target != h.home) {
       ++stolen_;
-      PDM_TRACE_INSTANT_ARG("cluster", "job_stolen", "job", h.id);
+      trace::TraceLog::instance().instant("cluster", "job_stolen", "from",
+                                          h.home, "to", target);
     }
     // Reflect the reservation in our load copy so later holds in this
     // pump see the shard as (possibly) full again.
@@ -347,6 +371,10 @@ void Cluster::pump_locked() {
 
 JobId Cluster::submit_prepared(PreparedJob job) {
   PDM_CHECK(job.run != nullptr, "submit_prepared: empty job");
+  // Cluster admission is the id minting point for routed jobs (range
+  // sub-jobs arrive with ids already assigned by submit_distributed).
+  if (job.spec.trace_id == 0) job.spec.trace_id = jobtrace::mint();
+  jobtrace::Scope trace_scope(job.spec.trace_id, job.spec.parent_trace_id);
   // Placement cost = load polling + lock wait + routing decision.
   trace::TraceSpan place_span("cluster", "placement", "n", job.n);
   std::vector<ShardLoad> loads = shard_loads();
@@ -399,6 +427,9 @@ JobId Cluster::submit_prepared(PreparedJob job) {
           h.t_submit + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(job.spec.deadline_s));
     }
+    h.park_reason = !hold_.empty()
+                        ? "queued behind earlier parked jobs"
+                        : "no headroom on home shard";
     h.job = std::move(job);
     hold_insert_locked(std::move(h));
     jobs_.emplace(id, Placement{});  // kHeldShard
@@ -496,6 +527,11 @@ void Cluster::drain_shard(u32 id) {
             std::chrono::duration_cast<Clock::duration>(
                 std::chrono::duration<double>(ex.job.spec.deadline_s));
       }
+      h.park_reason = "migrated off draining shard " + std::to_string(id);
+      jobtrace::FlightRecorder::instance().record(
+          ex.job.spec.trace_id, jobtrace::EventKind::kMigrated, nullptr, id);
+      jobtrace::Scope scope(ex.job.spec.trace_id,
+                            ex.job.spec.parent_trace_id);
       h.job = std::move(ex.job);
       hold_insert_locked(std::move(h));
       jobs_[cid] = Placement{};  // kHeldShard
@@ -675,6 +711,9 @@ bool Cluster::cancel(JobId id) {
     auto held = std::find_if(hold_.begin(), hold_.end(),
                              [&](const HeldJob& h) { return h.id == id; });
     if (held != hold_.end()) {
+      jobtrace::FlightRecorder::instance().note_end(
+          held->job.spec.trace_id, jobtrace::EventKind::kCancelled,
+          "cancelled while parked", /*bad=*/true, held->home);
       add_record_locked(id, held_snapshot(*held, JobState::kCancelled));
       hold_.erase(held);
       note_hold_depth(hold_.size());
@@ -791,7 +830,8 @@ double Cluster::seconds_since(Clock::time_point t0) {
 }
 
 Cluster::DistBegin Cluster::dist_begin(const std::string& name,
-                                       const RangePartitionStats& pst) {
+                                       const RangePartitionStats& pst,
+                                       u64 trace_id) {
   std::lock_guard g(mu_);
   PDM_CHECK(!stopping_, "Cluster is shutting down");
   PDM_CHECK(router_.num_active() > 0, "submit_distributed: no active shards");
@@ -805,6 +845,7 @@ Cluster::DistBegin Cluster::dist_begin(const std::string& name,
   DistJob dj;
   dj.info.id = b.id;
   dj.info.name = name;
+  dj.info.trace_id = trace_id;
   dj.info.state = JobState::kRunning;
   dj.info.n = pst.n;
   dj.info.oversample = pst.oversample;
@@ -836,13 +877,19 @@ void Cluster::dist_spawn(JobId dist, std::function<void()> body) {
   {
     std::lock_guard g(mu_);
     PDM_CHECK(!stopping_, "Cluster is shutting down");
-    PDM_ASSERT(dist_jobs_.count(dist) != 0, "dist_spawn: unknown job");
+    auto dj = dist_jobs_.find(dist);
+    PDM_ASSERT(dj != dist_jobs_.end(), "dist_spawn: unknown job");
+    const u64 trace_id = dj->second.info.trace_id;
     reap = reap_dist_threads_locked();
     const u64 token = next_dist_thread_++;
     dist_threads_.emplace(
-        token, std::thread([this, token, b = std::move(body)] {
+        token, std::thread([this, token, trace_id, b = std::move(body)] {
           trace::TraceLog::instance().set_thread_name("dist-coord");
           {
+            // The coordinator works on the distributed job's behalf:
+            // dist_coordinate and the dist_concat inside the body carry
+            // its id.
+            jobtrace::Scope scope(trace_id);
             trace::TraceSpan span("cluster", "dist_coordinate");
             b();
           }
@@ -895,6 +942,11 @@ void Cluster::dist_publish(JobId dist) {
     case JobState::kCancelled: ++dist_cancelled_; break;
     default: ++dist_failed_; break;
   }
+  jobtrace::FlightRecorder::instance().note_end(
+      info.trace_id,
+      info.state == JobState::kCancelled ? jobtrace::EventKind::kCancelled
+                                         : jobtrace::EventKind::kFinished,
+      job_state_name(info.state), /*bad=*/info.state != JobState::kDone);
   dist_last_range_records_ = info.range_records;
   dist_last_skew_ = info.skew;
   dist_max_skew_ = std::max(dist_max_skew_, info.skew);
@@ -1047,6 +1099,75 @@ std::string Cluster::metrics_text() const {
     note_hold_depth(hold_.size());
   }
   return metrics::Registry::global().text();
+}
+
+introspect::StateDump Cluster::dump_state() const {
+  introspect::StateDump d;
+  auto& flight = jobtrace::FlightRecorder::instance();
+  {
+    std::lock_guard g(mu_);
+    // Reverse-map local shard ids to cluster ids so the dump's job ids
+    // answer to wait()/info()/cancel().
+    std::vector<std::map<JobId, JobId>> to_cluster(slots_.size());
+    for (const auto& [cid, p] : jobs_) {
+      if (p.shard != kHeldShard) to_cluster[p.shard][p.local] = cid;
+    }
+    for (usize i = 0; i < slots_.size(); ++i) {
+      const Slot& slot = slots_[i];
+      introspect::ShardSnapshot ss;
+      ss.shard = static_cast<u32>(i);
+      ss.active = slot.state == SlotState::kActive;
+      if (slot.service) {
+        // Shard calls under mu_ follow the established cluster -> shard
+        // lock order (same as pump_locked's load() polls).
+        const ShardLoad l = slot.service->load();
+        ss.queued = l.queued;
+        ss.running = l.running;
+        ss.workers = l.workers;
+        ss.reserved_bytes = l.reserved_bytes;
+        ss.budget_limit = l.budget_limit;
+        for (const JobInfo& ji : slot.service->jobs()) {
+          if (job_state_terminal(ji.state)) continue;
+          introspect::JobSnapshot js;
+          auto found = to_cluster[i].find(ji.id);
+          js.id = found != to_cluster[i].end() ? found->second : ji.id;
+          js.trace_id = ji.trace_id;
+          js.name = ji.name;
+          js.shard = static_cast<u32>(i);
+          js.state = job_state_name(ji.state);
+          js.phase = flight.last_event_name(ji.trace_id);
+          js.n = ji.n;
+          js.priority = ji.priority;
+          js.queue_s = ji.queue_s;
+          js.run_s = ji.run_s;
+          d.in_flight.push_back(std::move(js));
+        }
+      }
+      d.shards.push_back(ss);
+    }
+    for (const HeldJob& h : hold_) {
+      introspect::HeldSnapshot hs;
+      hs.id = h.id;
+      hs.trace_id = h.job.spec.trace_id;
+      hs.name = h.job.spec.name;
+      hs.home = h.home;
+      hs.park_reason = h.park_reason;
+      hs.n = h.job.n;
+      hs.priority = h.job.spec.priority;
+      hs.parked_s = seconds(Clock::now() - h.t_submit);
+      d.held.push_back(std::move(hs));
+    }
+    d.distributed_active = dist_jobs_.size();
+    note_hold_depth(hold_.size());
+  }
+  // Registry text after releasing mu_ (it refreshes trace gauges and
+  // takes its own lock).
+  d.metrics = metrics::Registry::global().text();
+  return d;
+}
+
+std::string Cluster::introspect_text() const {
+  return introspect::to_text(dump_state());
 }
 
 }  // namespace pdm

@@ -74,6 +74,8 @@
 #include "pdm/backend_factory.h"
 #include "pdm/extent_exchange.h"
 #include "service/sort_service.h"
+#include "util/introspect.h"
+#include "util/jobtrace.h"
 #include "util/trace.h"
 
 namespace pdm {
@@ -181,6 +183,10 @@ class Cluster {
     PDM_CHECK(spec.mem_records > 0,
               "submit_distributed: SortJobSpec.mem_records must be > 0");
     const auto t0 = Clock::now();
+    // The distributed job's causal id: partition/coordinate/concat spans
+    // are stamped with it, and every range sub-job carries it as parent.
+    if (spec.trace_id == 0) spec.trace_id = jobtrace::mint();
+    jobtrace::Scope trace_scope(spec.trace_id, spec.parent_trace_id);
     const u32 ranges = opts.ranges != 0
                            ? opts.ranges
                            : static_cast<u32>(active_shards().size());
@@ -193,7 +199,10 @@ class Cluster {
     data.clear();
     data.shrink_to_fit();
     // Registers the job and fences its target shards against drains.
-    const DistBegin begun = dist_begin(spec.name, pst);
+    const DistBegin begun = dist_begin(spec.name, pst, spec.trace_id);
+    jobtrace::FlightRecorder::instance().record(
+        spec.trace_id, jobtrace::EventKind::kAdmitted, spec.name.c_str(),
+        ranges);
     auto gathered = std::make_shared<std::vector<std::vector<R>>>(ranges);
     std::vector<JobId> subs(ranges, 0);
     try {
@@ -203,6 +212,10 @@ class Cluster {
         rs.name = spec.name + "/range" + std::to_string(r);
         rs.target_shard = begun.targets[r];
         rs.locality_key.clear();
+        // Each range is its own causal node, parented by the distributed
+        // job: the sub-job's spans carry (trace_id, parent_trace_id).
+        rs.trace_id = jobtrace::mint();
+        rs.parent_trace_id = spec.trace_id;
         const u64 span = opts.exchange_span_blocks;
         // The completion callback runs on the range's shard worker while
         // its output run and context are alive: exporting there is the
@@ -363,6 +376,16 @@ class Cluster {
   /// first. One `name value` line per metric; see metrics::Registry.
   std::string metrics_text() const;
 
+  /// One coherent live snapshot: every queued/running job with its
+  /// current phase (from the flight recorder) and elapsed times, the
+  /// hold queue with park reasons, per-shard loads, the count of live
+  /// distributed jobs, and the metrics exposition. Safe to call at any
+  /// time from any thread: shard snapshots are taken outside the cluster
+  /// mutex (same lock order as stats()).
+  introspect::StateDump dump_state() const;
+  /// introspect::to_text(dump_state()).
+  std::string introspect_text() const;
+
   /// Slots ever created, including retired ones (shard ids are stable).
   usize num_shards() const;
   /// The live service on an active (or draining) slot; throws for
@@ -405,6 +428,7 @@ class Cluster {
     PreparedJob job;
     Clock::time_point t_submit;
     Clock::time_point deadline_abs = Clock::time_point::max();
+    std::string park_reason;  // why it parked (introspection + flight ring)
   };
 
   u32 make_shard_locked_id();
@@ -451,8 +475,10 @@ class Cluster {
   /// Registers a distributed job under a fresh cluster id: assigns each
   /// range a target from the active set (round-robin over actives) and
   /// publishes the ownership that fences those shards against drains.
-  DistBegin dist_begin(const std::string& name,
-                       const RangePartitionStats& pst);
+  /// `trace_id` is the job's jobtrace id; the coordinator thread re-
+  /// establishes it as its scope.
+  DistBegin dist_begin(const std::string& name, const RangePartitionStats& pst,
+                       u64 trace_id);
   /// Records a submitted range sub-job's cluster id; cancels it
   /// immediately when cancel() already hit the distributed job.
   void dist_set_sub(JobId dist, u32 range, JobId sub);

@@ -47,6 +47,12 @@ struct DistributedInfo {
   u32 oversample = 0;
   double skew = 0;  // max/mean of the splitter partition sizes
 
+  /// jobtrace causal id of the distributed job. Every range sub-job
+  /// carries it as parent_trace_id, so one Chrome trace reconstructs the
+  /// whole tree: this id's spans (partition, coordinate, concat) parent
+  /// the per-range ids' phase spans and I/O tickets.
+  u64 trace_id = 0;
+
   /// Per range: serving shard, cluster id of the sub-job, record count
   /// (after feasibility rounding) and — once terminal — the sub-job's
   /// report. Empty ranges have sub_jobs[i] == 0 and a default report.

@@ -8,6 +8,7 @@
 
 #include "pdm/pdm_context.h"
 #include "pdm/striped_run.h"
+#include "util/jobtrace.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -46,6 +47,12 @@ class ReportBuilder {
     ctx.budget().reset_peak();
     budget_floor_ = ctx.budget().peak();
     trace_start_ns_ = trace::TraceLog::now_ns();
+    // Every sorter passes through here once per sort, so this is the one
+    // chokepoint that tells the flight ring (and hence introspection's
+    // "current phase") which algorithm the job is executing.
+    jobtrace::FlightRecorder::instance().record(
+        ctx.trace_id(), jobtrace::EventKind::kPhase,
+        report_.algorithm.c_str(), n);
   }
 
   SortReport finish() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "util/jobtrace.h"
 #include "util/trace.h"
 
 namespace pdm {
@@ -108,6 +109,11 @@ IoTicket AsyncIoScheduler::submit(std::span<const Req> reqs) {
   pt.outstanding = njobs;
   pt.is_write = kIsWrite;
   pt.t_submit = std::chrono::steady_clock::now();
+  // Capture the submitting thread's job attribution: the completion
+  // retro-span is emitted on an aio-worker thread, whose own jobtrace
+  // scope (if any) belongs to a different job.
+  pt.job = jobtrace::current();
+  pt.parent = jobtrace::current_parent();
   pending_[ticket] = pt;
   if (trace::TraceLog::instance().enabled()) {
     PDM_TRACE_COUNTER("io", "tickets_in_flight", pending_.size());
@@ -248,6 +254,9 @@ void AsyncIoScheduler::worker_loop() {
       if (trace::TraceLog::instance().enabled()) {
         const u64 now_ns = trace::TraceLog::now_ns();
         const u64 dur = std::min(now_ns, lat_ns);
+        // Re-establish the submitter's attribution around the retro-span
+        // (TLS stores only — safe under mu_).
+        jobtrace::Scope scope(it->second.job, it->second.parent);
         trace::TraceLog::instance().complete(
             "io", it->second.is_write ? "write_ticket" : "read_ticket",
             now_ns - dur, dur, "ticket", job.ticket);

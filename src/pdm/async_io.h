@@ -111,6 +111,11 @@ class AsyncIoScheduler {
     usize outstanding = 0;
     bool is_write = false;
     std::chrono::steady_clock::time_point t_submit;
+    // Causal attribution captured from the submitting thread's jobtrace
+    // scope, re-established around the completion retro-span (which is
+    // emitted on an aio-worker thread).
+    u64 job = 0;
+    u64 parent = 0;
   };
 
   template <class Req>

@@ -120,6 +120,18 @@ class PdmContext {
     return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
   }
 
+  /// Job-scoped causal attribution (pdm::jobtrace): the owning service
+  /// stamps the job's trace id (and, for distributed range sub-jobs, the
+  /// parent id) here before running the closure, so sorters and helper
+  /// threads working through this context can re-establish the jobtrace
+  /// scope without signature churn. 0 = unattributed (standalone use).
+  void set_trace(u64 trace_id, u64 parent_trace_id = 0) noexcept {
+    trace_id_ = trace_id;
+    parent_trace_id_ = parent_trace_id;
+  }
+  u64 trace_id() const noexcept { return trace_id_; }
+  u64 parent_trace_id() const noexcept { return parent_trace_id_; }
+
   /// Throws pdm::Cancelled if the cancellation flag is set. Safe at any
   /// batch boundary: the pass loops are exception-safe there (the same
   /// unwind path an I/O error takes), so a cancelled sort releases its
@@ -150,6 +162,8 @@ class PdmContext {
   usize extent_blocks_ = kDefaultExtentBlocks;
   Rng rng_;
   const std::atomic<bool>* cancel_ = nullptr;
+  u64 trace_id_ = 0;
+  u64 parent_trace_id_ = 0;
 
  public:
   /// Default run-extent size: big enough that a memory-load read costs a

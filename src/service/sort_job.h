@@ -94,6 +94,15 @@ struct SortJobSpec {
   /// splitter assignment chose.
   static constexpr u32 kAnyShard = 0xffffffffu;
   u32 target_shard = kAnyShard;
+
+  /// Job-scoped causal trace id (pdm::jobtrace). 0 = unassigned: the first
+  /// admission point that sees the job (cluster submit, or the service for
+  /// standalone submissions) mints one. Distributed range sub-jobs carry
+  /// the coordinator-minted id here plus the parent distributed job's id
+  /// in parent_trace_id, so one Chrome trace reconstructs the whole causal
+  /// tree by id alone.
+  u64 trace_id = 0;
+  u64 parent_trace_id = 0;
 };
 
 /// Snapshot of one job for stats/introspection.
@@ -109,9 +118,11 @@ struct JobInfo {
   SortReport report;      // valid when state == kDone
   IoStats io;             // whole-job I/O: staging + sort + callbacks
   double queue_s = 0;     // submit -> start (or cancel)
-  double run_s = 0;       // start -> terminal
+  double run_s = 0;       // start -> terminal (running: elapsed so far)
   bool deadline_missed = false;
   bool batched = false;   // ran coalesced with same-type small jobs
+  u64 trace_id = 0;         // jobtrace id (0 if flight/trace disabled it)
+  u64 parent_trace_id = 0;  // distributed parent, for range sub-jobs
 };
 
 /// Caches AdaptiveSorter decisions by shape so a fleet of jobs sharing a

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "util/jobtrace.h"
+#include "util/metrics.h"
 #include "util/trace.h"
 
 namespace pdm {
@@ -200,6 +202,11 @@ JobId SortService::submit_impl(SortJobSpec spec, u64 n, usize record_bytes,
   // Planning for the admission estimate happens before the lock (the plan
   // cache has its own); skipped entirely unless deadline admission is on.
   if (cfg_.deadline_admission) job->est_run_s = estimate_run_s(*job);
+  // Standalone submissions mint their causal id here; cluster-routed jobs
+  // arrive with one already stamped at cluster admission.
+  if (job->spec.trace_id == 0) job->spec.trace_id = jobtrace::mint();
+  jobtrace::Scope trace_scope(job->spec.trace_id, job->spec.parent_trace_id);
+  auto& flight = jobtrace::FlightRecorder::instance();
 
   std::lock_guard g(mu_);
   PDM_CHECK(!stop_, "SortService is shutting down");
@@ -208,6 +215,8 @@ JobId SortService::submit_impl(SortJobSpec spec, u64 n, usize record_bytes,
   ++submitted_;
   auto reject = [&](std::string why) {
     job->state = JobState::kRejected;
+    flight.note_end(job->spec.trace_id, jobtrace::EventKind::kRejected,
+                    why.c_str(), /*bad=*/true, cfg_.shard_id);
     job->error = std::move(why);
     job->t_end = job->t_submit;
     job->run = {};  // terminal: release the dataset the closure co-owns
@@ -256,6 +265,8 @@ JobId SortService::submit_impl(SortJobSpec spec, u64 n, usize record_bytes,
         return queue_before(*a, *b);
       });
   pending_.insert(pos, raw);
+  flight.record(raw->spec.trace_id, jobtrace::EventKind::kAdmitted,
+                raw->spec.name.c_str(), cfg_.shard_id);
   jobs_.emplace(id, std::move(job));
   work_cv_.notify_one();
   PDM_TRACE_INSTANT_ARG("service", "job_submitted", "job", id);
@@ -313,6 +324,9 @@ bool SortService::cancel(JobId id) {
     job.t_end = Clock::now();
     job.run = {};  // safe: a claimed member is only run while still kQueued
     std::erase(pending_, &job);
+    jobtrace::FlightRecorder::instance().note_end(
+        job.spec.trace_id, jobtrace::EventKind::kCancelled,
+        "cancelled while queued", /*bad=*/true, cfg_.shard_id);
     on_terminal_locked(job);
     done_cv_.notify_all();
     return true;
@@ -383,6 +397,8 @@ JobInfo SortService::snapshot_locked(const Job& job) const {
   out.io = job.io;
   out.deadline_missed = job.deadline_missed;
   out.batched = job.batched;
+  out.trace_id = job.spec.trace_id;
+  out.parent_trace_id = job.spec.parent_trace_id;
   // A job failed by run_claim's catch never started; t_start is the
   // ground truth, not the state.
   const bool started = job.t_start != Clock::time_point{};
@@ -390,6 +406,9 @@ JobInfo SortService::snapshot_locked(const Job& job) const {
     out.queue_s = seconds(job.t_start - job.t_submit);
     if (job_state_terminal(job.state)) {
       out.run_s = seconds(job.t_end - job.t_start);
+    } else {
+      // Still running: elapsed so far, for live introspection.
+      out.run_s = seconds(Clock::now() - job.t_start);
     }
   } else if (job_state_terminal(job.state)) {
     out.queue_s = seconds(job.t_end - job.t_submit);
@@ -408,13 +427,30 @@ void SortService::on_terminal_locked(Job& job) {
     default: PDM_ASSERT(false, "on_terminal_locked on a live job"); break;
   }
   if (job.deadline_missed) ++deadline_missed_;
+  u64 queued_ns = 0;
   if (job.state == JobState::kDone || job.state == JobState::kFailed) {
     const bool started = job.t_start != Clock::time_point{};
     const auto queued =
         started ? job.t_start - job.t_submit : job.t_end - job.t_submit;
-    queue_hist_.record(static_cast<u64>(std::max<std::chrono::nanoseconds::rep>(
+    queued_ns = static_cast<u64>(std::max<std::chrono::nanoseconds::rep>(
         0, std::chrono::duration_cast<std::chrono::nanoseconds>(queued)
-               .count())));
+               .count()));
+    queue_hist_.record(queued_ns);
+  }
+  if (!job.spec.locality_key.empty()) {
+    // Per-tenant accounting, keyed by the routing/locality key. Registry
+    // lookup takes its own (independent) mutex; terminal transitions are
+    // infrequent enough that the by-name lookup is fine here.
+    auto& reg = metrics::Registry::global();
+    const std::string p = "tenant." + job.spec.locality_key;
+    reg.counter(p + ".jobs").add(1);
+    reg.counter(p + ".bytes").add(job.n * job.record_bytes);
+    if (job.spec.deadline_s > 0) {
+      reg.counter(job.deadline_missed ? p + ".deadline_missed"
+                                      : p + ".deadline_hit")
+          .add(1);
+    }
+    if (queued_ns > 0) reg.histogram(p + ".queue_wait_ns").record(queued_ns);
   }
   ++retained_;
   terminal_fifo_.emplace_back(job.id, job.t_end);
@@ -619,6 +655,15 @@ void SortService::run_one(Job& job, PdmContext& ctx) {
       any_start_ = true;
     }
   }
+  // Everything this worker records for the job — the queue-wait retro
+  // span, the job_run span, every sorter phase span and counter beneath
+  // it — is stamped with the job's causal id. The scope must outlive
+  // trace_span (which emits at end()).
+  jobtrace::Scope trace_scope(job.spec.trace_id, job.spec.parent_trace_id);
+  ctx.set_trace(job.spec.trace_id, job.spec.parent_trace_id);
+  auto& flight = jobtrace::FlightRecorder::instance();
+  flight.record(job.spec.trace_id, jobtrace::EventKind::kStarted, nullptr,
+                cfg_.shard_id);
   if (trace::TraceLog::instance().enabled()) {
     // Retroactive queue-wait span: submission happened on another thread,
     // so the wait is emitted here as a complete event ending now.
@@ -714,6 +759,19 @@ void SortService::run_one(Job& job, PdmContext& ctx) {
         job.spec.deadline_s > 0 &&
         seconds(job.t_end - job.t_submit) > job.spec.deadline_s;
   }
+  // Flight-record the terminal transition. A deadline miss gets its own
+  // event before the terminal one, and any bad end (failed, cancelled,
+  // missed) triggers the dump-on-bad-end sink exactly once.
+  if (job.deadline_missed) {
+    flight.record(job.spec.trace_id, jobtrace::EventKind::kDeadlineMiss,
+                  job.spec.name.c_str(), cfg_.shard_id);
+  }
+  const bool bad = job.state != JobState::kDone || job.deadline_missed;
+  flight.note_end(job.spec.trace_id,
+                  job.state == JobState::kCancelled
+                      ? jobtrace::EventKind::kCancelled
+                      : jobtrace::EventKind::kFinished,
+                  job_state_name(job.state), bad, cfg_.shard_id);
   on_terminal_locked(job);
   done_cv_.notify_all();
 }

@@ -1,0 +1,109 @@
+#include "util/introspect.h"
+
+#include <sstream>
+
+namespace pdm::introspect {
+
+namespace {
+
+void write_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string to_text(const StateDump& d) {
+  std::ostringstream os;
+  os << "introspect: in_flight=" << d.in_flight.size()
+     << " held=" << d.held.size() << " shards=" << d.shards.size()
+     << " distributed_active=" << d.distributed_active << '\n';
+  for (const auto& j : d.in_flight) {
+    os << "  job " << j.id << " trace=" << j.trace_id << " \"" << j.name
+       << "\" shard=" << j.shard << ' ' << j.state;
+    if (!j.phase.empty()) os << " phase=" << j.phase;
+    os << " n=" << j.n << " prio=" << j.priority << " queue_s=" << j.queue_s
+       << " run_s=" << j.run_s << '\n';
+  }
+  for (const auto& h : d.held) {
+    os << "  held " << h.id << " trace=" << h.trace_id << " \"" << h.name
+       << "\" home=" << h.home << " n=" << h.n << " prio=" << h.priority
+       << " parked_s=" << h.parked_s;
+    if (!h.park_reason.empty()) os << " reason=\"" << h.park_reason << '"';
+    os << '\n';
+  }
+  for (const auto& s : d.shards) {
+    os << "  shard " << s.shard << (s.active ? " active" : " retired")
+       << " queued=" << s.queued << " running=" << s.running << '/'
+       << s.workers << " reserved=" << s.reserved_bytes << '/'
+       << s.budget_limit << '\n';
+  }
+  if (!d.metrics.empty()) {
+    os << "  metrics:\n";
+    std::istringstream lines(d.metrics);
+    for (std::string line; std::getline(lines, line);) {
+      os << "    " << line << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string to_json(const StateDump& d) {
+  std::ostringstream os;
+  os << "{\"in_flight\":[";
+  bool first = true;
+  for (const auto& j : d.in_flight) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":" << j.id << ",\"trace_id\":" << j.trace_id
+       << ",\"name\":";
+    write_json_string(os, j.name);
+    os << ",\"shard\":" << j.shard << ",\"state\":";
+    write_json_string(os, j.state);
+    os << ",\"phase\":";
+    write_json_string(os, j.phase);
+    os << ",\"n\":" << j.n << ",\"priority\":" << j.priority
+       << ",\"queue_s\":" << j.queue_s << ",\"run_s\":" << j.run_s << '}';
+  }
+  os << "],\"held\":[";
+  first = true;
+  for (const auto& h : d.held) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":" << h.id << ",\"trace_id\":" << h.trace_id
+       << ",\"name\":";
+    write_json_string(os, h.name);
+    os << ",\"home\":" << h.home << ",\"park_reason\":";
+    write_json_string(os, h.park_reason);
+    os << ",\"n\":" << h.n << ",\"priority\":" << h.priority
+       << ",\"parked_s\":" << h.parked_s << '}';
+  }
+  os << "],\"shards\":[";
+  first = true;
+  for (const auto& s : d.shards) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"shard\":" << s.shard
+       << ",\"active\":" << (s.active ? "true" : "false")
+       << ",\"queued\":" << s.queued << ",\"running\":" << s.running
+       << ",\"workers\":" << s.workers
+       << ",\"reserved_bytes\":" << s.reserved_bytes
+       << ",\"budget_limit\":" << s.budget_limit << '}';
+  }
+  os << "],\"distributed_active\":" << d.distributed_active
+     << ",\"metrics\":";
+  write_json_string(os, d.metrics);
+  os << '}';
+  return os.str();
+}
+
+}  // namespace pdm::introspect

@@ -1,0 +1,74 @@
+// pdm::introspect — live state snapshots for serving debuggability.
+//
+// A StateDump is one coherent picture of a cluster (or a single service)
+// at a point in time: every in-flight job with its current phase and
+// elapsed times, the hold queue with park reasons, per-shard load, and
+// the metrics registry's text exposition. Cluster::dump_state() fills
+// one; to_text()/to_json() render it for logs, SIGUSR1 handlers and the
+// `--introspect-every` loop of example_cluster_serve.
+//
+// This header is dependency-light (plain structs over std types) so the
+// cluster can include it without cycles, and so it compiles unchanged in
+// -DPDMSORT_TRACING=OFF builds: phases come from the flight recorder,
+// which is always on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdm::introspect {
+
+/// One job queued or running on a shard.
+struct JobSnapshot {
+  std::uint64_t id = 0;        // cluster (or service) job id
+  std::uint64_t trace_id = 0;  // jobtrace causal id
+  std::string name;
+  std::uint32_t shard = 0;
+  std::string state;  // "queued" / "running"
+  std::string phase;  // flight recorder's latest event (algorithm once known)
+  std::uint64_t n = 0;
+  int priority = 0;
+  double queue_s = 0;  // submit -> start (or elapsed in queue)
+  double run_s = 0;    // elapsed since start (0 while queued)
+};
+
+/// One job parked in the cluster hold queue.
+struct HeldSnapshot {
+  std::uint64_t id = 0;
+  std::uint64_t trace_id = 0;
+  std::string name;
+  std::uint32_t home = 0;  // placed shard that lacked headroom
+  std::string park_reason;
+  std::uint64_t n = 0;
+  int priority = 0;
+  double parked_s = 0;
+};
+
+/// One shard's load at snapshot time.
+struct ShardSnapshot {
+  std::uint32_t shard = 0;
+  bool active = false;
+  std::uint64_t queued = 0;
+  std::uint64_t running = 0;
+  std::uint64_t workers = 0;
+  std::uint64_t reserved_bytes = 0;
+  std::uint64_t budget_limit = 0;
+};
+
+struct StateDump {
+  std::vector<JobSnapshot> in_flight;
+  std::vector<HeldSnapshot> held;
+  std::vector<ShardSnapshot> shards;
+  std::uint64_t distributed_active = 0;
+  std::string metrics;  // metrics::Registry text exposition
+};
+
+/// Human-readable multi-line rendering (stable, grep-friendly prefixes:
+/// "introspect:", "  job ", "  held ", "  shard ").
+std::string to_text(const StateDump& d);
+
+/// Single-object JSON rendering (keys mirror the struct fields).
+std::string to_json(const StateDump& d);
+
+}  // namespace pdm::introspect

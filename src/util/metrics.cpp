@@ -55,6 +55,19 @@ LogHistogram& Registry::histogram(const std::string& name) {
 }
 
 std::string Registry::text() const {
+  // Refresh tracer-health gauges first: gauge() takes mu_, which is not
+  // recursive, so this must happen before the exposition lock below. In
+  // -DPDMSORT_TRACING=OFF builds dropped() is constant 0 and the ring list
+  // is empty, so the exposition still carries the trace.dropped_total line.
+  Registry& self = const_cast<Registry&>(*this);
+  self.gauge("trace.dropped_total")
+      .set(static_cast<std::int64_t>(trace::TraceLog::instance().dropped()));
+  for (const auto& occ : trace::TraceLog::instance().ring_occupancy()) {
+    const std::string prefix = "trace.ring.tid" + std::to_string(occ.tid);
+    self.gauge(prefix + ".used").set(static_cast<std::int64_t>(occ.used));
+    self.gauge(prefix + ".dropped")
+        .set(static_cast<std::int64_t>(occ.dropped));
+  }
   std::lock_guard lock(mu_);
   std::ostringstream os;
   for (const auto& [name, c] : counters_)

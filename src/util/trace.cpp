@@ -1,5 +1,7 @@
 #include "util/trace.h"
 
+#include "util/jobtrace.h"
+
 #if PDMSORT_TRACING
 
 #include <algorithm>
@@ -112,6 +114,20 @@ std::uint64_t TraceLog::dropped() const {
   return total;
 }
 
+std::vector<RingOccupancy> TraceLog::ring_occupancy() const {
+  std::vector<RingOccupancy> out;
+  for (auto& r : impl_->ring_snapshot()) {
+    std::lock_guard lock(r->mu);
+    RingOccupancy occ;
+    occ.tid = r->tid;
+    occ.used = std::min<std::uint64_t>(r->head, kRingCapacity);
+    occ.capacity = kRingCapacity;
+    occ.dropped = r->head > kRingCapacity ? r->head - kRingCapacity : 0;
+    out.push_back(occ);
+  }
+  return out;
+}
+
 std::uint64_t TraceLog::now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -136,6 +152,8 @@ void TraceLog::complete(const char* cat, const char* name, std::uint64_t ts_ns,
   ev.arg0 = arg0;
   ev.arg1_name = arg1_name;
   ev.arg1 = arg1;
+  ev.job = jobtrace::current();
+  ev.parent = jobtrace::current_parent();
   ring.push(ev);
   if (SpanSink sink = g_span_sink.load(std::memory_order_acquire))
     sink(name, dur_ns);
@@ -156,6 +174,8 @@ void TraceLog::complete_dyn(const char* cat, const std::string& name,
   ev.dur_ns = dur_ns;
   ev.arg0_name = arg0_name;
   ev.arg0 = arg0;
+  ev.job = jobtrace::current();
+  ev.parent = jobtrace::current_parent();
   ring.push(ev);
   if (SpanSink sink = g_span_sink.load(std::memory_order_acquire))
     sink(ev.name_buf, dur_ns);
@@ -176,6 +196,8 @@ void TraceLog::instant(const char* cat, const char* name,
   ev.arg0 = arg0;
   ev.arg1_name = arg1_name;
   ev.arg1 = arg1;
+  ev.job = jobtrace::current();
+  ev.parent = jobtrace::current_parent();
   ring.push(ev);
 }
 
@@ -190,6 +212,8 @@ void TraceLog::counter(const char* cat, const char* name, std::uint64_t value) {
   ev.ts_ns = now_ns();
   ev.arg0_name = "value";
   ev.arg0 = value;
+  ev.job = jobtrace::current();
+  ev.parent = jobtrace::current_parent();
   ring.push(ev);
 }
 
@@ -206,6 +230,8 @@ void TraceLog::counter_dyn(const char* cat, const std::string& name,
   ev.ts_ns = now_ns();
   ev.arg0_name = "value";
   ev.arg0 = value;
+  ev.job = jobtrace::current();
+  ev.parent = jobtrace::current_parent();
   ring.push(ev);
 }
 
@@ -292,16 +318,24 @@ void TraceLog::write_chrome_json(std::ostream& os) const {
       write_us(os, ev.dur_ns);
     }
     if (ev.ph == 'i') os << ",\"s\":\"t\"";
-    if (ev.arg0_name != nullptr || ev.arg1_name != nullptr) {
+    if (ev.arg0_name != nullptr || ev.arg1_name != nullptr || ev.job != 0) {
       os << ",\"args\":{";
+      bool first_arg = true;
       if (ev.arg0_name != nullptr) {
         write_json_string(os, ev.arg0_name);
         os << ':' << ev.arg0;
+        first_arg = false;
       }
       if (ev.arg1_name != nullptr) {
-        if (ev.arg0_name != nullptr) os << ',';
+        if (!first_arg) os << ',';
         write_json_string(os, ev.arg1_name);
         os << ':' << ev.arg1;
+        first_arg = false;
+      }
+      if (ev.job != 0) {
+        if (!first_arg) os << ',';
+        os << "\"job\":" << ev.job;
+        if (ev.parent != 0) os << ",\"parent\":" << ev.parent;
       }
       os << '}';
     }

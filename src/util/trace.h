@@ -25,6 +25,21 @@
 #define PDMSORT_TRACING 1
 #endif
 
+namespace pdm::trace {
+
+/// Per-thread ring usage (TraceLog::ring_occupancy): how full each
+/// thread's event ring is and how many events it has overwritten. Defined
+/// outside the compile gate so the metrics exposition compiles (to empty
+/// data) in -DPDMSORT_TRACING=OFF builds.
+struct RingOccupancy {
+  std::uint32_t tid = 0;
+  std::uint64_t used = 0;      // events currently buffered (<= capacity)
+  std::uint64_t capacity = 0;  // ring size in events
+  std::uint64_t dropped = 0;   // events overwritten by wrap-around
+};
+
+}  // namespace pdm::trace
+
 #if PDMSORT_TRACING
 
 #include <iosfwd>
@@ -43,6 +58,12 @@ struct TraceEvent {
   const char* arg1_name = nullptr;
   std::uint64_t arg0 = 0;
   std::uint64_t arg1 = 0;
+  // Job attribution (pdm::jobtrace): the job id work on the recording
+  // thread was scoped to, and its parent id for distributed range
+  // sub-jobs. 0 = unattributed. Emitted as "job"/"parent" args in the
+  // Chrome JSON so a viewer query reconstructs a job's causal tree.
+  std::uint64_t job = 0;
+  std::uint64_t parent = 0;
   char name_buf[kNameBuf] = {0};
 
   const char* name_str() const { return name != nullptr ? name : name_buf; }
@@ -59,6 +80,8 @@ class TraceLog {
   void clear();
   // Events overwritten because a thread ring wrapped.
   std::uint64_t dropped() const;
+  // Per-thread ring usage, for the metrics exposition (trace.ring.* gauges).
+  std::vector<RingOccupancy> ring_occupancy() const;
 
   // Complete event with explicit timestamps — for retro spans whose start was
   // captured on another thread (queue wait, hold park, I/O tickets).
@@ -159,6 +182,7 @@ class TraceLog {
   bool enabled() const { return false; }
   void clear() {}
   std::uint64_t dropped() const { return 0; }
+  std::vector<RingOccupancy> ring_occupancy() const { return {}; }
   void complete(const char*, const char*, std::uint64_t, std::uint64_t,
                 const char* = nullptr, std::uint64_t = 0,
                 const char* = nullptr, std::uint64_t = 0) {}
