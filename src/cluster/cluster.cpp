@@ -1126,6 +1126,8 @@ introspect::StateDump Cluster::dump_state() const {
         ss.workers = l.workers;
         ss.reserved_bytes = l.reserved_bytes;
         ss.budget_limit = l.budget_limit;
+        ss.cpu_in_use = l.cpu_in_use;
+        ss.cpu_total = l.cpu_total;
         for (const JobInfo& ji : slot.service->jobs()) {
           if (job_state_terminal(ji.state)) continue;
           introspect::JobSnapshot js;

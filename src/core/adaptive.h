@@ -187,10 +187,18 @@ SortResult<R> pdm_sort(PdmContext& ctx, const StripedRun<R>& input,
       ReportBuilder rb(ctx, "InternalSort", input.size(), opt.mem_records,
                        rpb);
       TrackedBuffer<R> buf(ctx.budget(), static_cast<usize>(opt.mem_records));
+      TrackedBuffer<R> scratch;  // only acquired on the parallel path
+      if (ctx.cpu_budget() >= 2) {
+        scratch = TrackedBuffer<R>(ctx.budget(), buf.size());
+      }
       const u64 nb = input.num_blocks();
       input.read_blocks(0, nb, buf.data());
       std::span<R> recs(buf.data(), static_cast<usize>(input.size()));
-      internal_sort(recs, cmp, opt.pool);
+      if (ctx.cpu_budget() >= 2) {
+        internal_sort_budgeted(recs, cmp, ctx.cpu_pool(), scratch.span());
+      } else {
+        internal_sort(recs, cmp, opt.pool);
+      }
       SortResult<R> res;
       res.output = StripedRun<R>(ctx, 0);
       res.output.append(std::span<const R>(recs.data(), recs.size()));

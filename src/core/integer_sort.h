@@ -213,15 +213,14 @@ DistributeOutcome<R> distribute_pass(
 
   auto flush_phase = [&](std::span<const R> recs) {
     ctx.check_cancelled();
-    // Group in memory.
-    std::fill(counts.begin(), counts.end(), u64{0});
-    for (const auto& r : recs) ++counts[digit_fn(r)];
+    // Group in memory: the stable counting partition runs across the
+    // kernel budget when granted (>= 2), byte-identically to the serial
+    // count + cursor scatter it replaces. The write batch below is built
+    // from `grouped`/`counts` alone, so its request order is untouched.
+    partition_stable(recs, grouped.span(), num_buckets, digit_fn,
+                     ctx.cpu_pool(), std::span<u64>(counts));
     bounds[0] = 0;
     for (u32 i = 0; i < num_buckets; ++i) bounds[i + 1] = bounds[i] + counts[i];
-    {
-      std::vector<u64> cursor(bounds.begin(), bounds.end() - 1);
-      for (const auto& r : recs) grouped[cursor[digit_fn(r)]++] = r;
-    }
     // Emit: one batched parallel write for the whole phase.
     std::vector<WriteReq> reqs;
     for (u32 i = 0; i < num_buckets; ++i) {

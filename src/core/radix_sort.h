@@ -36,6 +36,8 @@ struct RadixState {
   BucketPlacement placement;
   StripedRun<R>* out;
   TrackedBuffer<R>* leaf_buf;
+  TrackedBuffer<R>* scratch_buf;  // parallel leaf-sort scratch; null when
+                                  // the kernel budget is 1 (serial path)
   TrackedBuffer<R>* io_buf;  // block-granular staging: a ragged bucket of
                              // <= M records can span far more than M/B
                              // blocks, so reads land here and only the
@@ -91,9 +93,15 @@ void radix_recurse(RadixState<R>& st, RecordReader<R>& reader, u32 shift,
     trace::TraceSpan trace_span("pass", "radix_leaf_sort", "records",
                                 group_n);
     std::span<R> recs(st.leaf_buf->data(), group_n);
-    std::sort(recs.begin(), recs.end(), [](const R& a, const R& b) {
+    auto cmp = [](const R& a, const R& b) {
       return record_key(a) < record_key(b);
-    });
+    };
+    if (st.scratch_buf != nullptr) {
+      internal_sort_budgeted(recs, cmp, st.ctx->cpu_pool(),
+                             st.scratch_buf->span());
+    } else {
+      std::sort(recs.begin(), recs.end(), cmp);
+    }
     st.out->append(std::span<const R>(recs.data(), recs.size()));
     group_n = 0;
   };
@@ -153,18 +161,27 @@ SortResult<R> radix_sort(PdmContext& ctx, const StripedRun<R>& input,
   SortResult<R> result;
   result.output = StripedRun<R>(ctx, 0);
 
+  auto key_cmp = [](const R& a, const R& b) {
+    return record_key(a) < record_key(b);
+  };
   if (input.size() <= mem) {
     // Fits in memory: one read + one write pass.
     TrackedBuffer<R> buf(ctx.budget(), static_cast<usize>(mem));
+    TrackedBuffer<R> scratch;  // acquired only on the parallel path
+    if (ctx.cpu_budget() >= 2) {
+      scratch = TrackedBuffer<R>(ctx.budget(), buf.size());
+    }
     StripedRunReader<R> reader(input);
     usize n = 0;
     while (!reader.exhausted()) {
       n += reader.read_up_to(buf.data() + n, buf.size() - n);
     }
     std::span<R> recs(buf.data(), n);
-    std::sort(recs.begin(), recs.end(), [](const R& a, const R& b) {
-      return record_key(a) < record_key(b);
-    });
+    if (ctx.cpu_budget() >= 2) {
+      internal_sort_budgeted(recs, key_cmp, ctx.cpu_pool(), scratch.span());
+    } else {
+      std::sort(recs.begin(), recs.end(), key_cmp);
+    }
     result.output.append(std::span<const R>(recs.data(), n));
     result.output.finish();
     result.report = rb.finish();
@@ -172,9 +189,20 @@ SortResult<R> radix_sort(PdmContext& ctx, const StripedRun<R>& input,
   }
 
   TrackedBuffer<R> leaf_buf(ctx.budget(), static_cast<usize>(mem));
+  TrackedBuffer<R> leaf_scratch;  // acquired only on the parallel path
+  if (ctx.cpu_budget() >= 2) {
+    leaf_scratch = TrackedBuffer<R>(ctx.budget(), leaf_buf.size());
+  }
   TrackedBuffer<R> io_buf(ctx.budget(), static_cast<usize>(mem));
-  detail::RadixState<R> st{&ctx,           mem,       w,       opt.staged,
-                           opt.placement,  &result.output, &leaf_buf, &io_buf};
+  detail::RadixState<R> st{&ctx,
+                           mem,
+                           w,
+                           opt.staged,
+                           opt.placement,
+                           &result.output,
+                           &leaf_buf,
+                           ctx.cpu_budget() >= 2 ? &leaf_scratch : nullptr,
+                           &io_buf};
   const u32 kb = std::max<u32>(opt.key_bits, 1);
   const u32 top_shift = kb <= w ? 0 : ((kb - 1) / w) * w;
   StripedRunReader<R> reader(input);

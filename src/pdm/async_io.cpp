@@ -35,15 +35,30 @@ void AsyncIoScheduler::quiesce() noexcept {
 }
 
 void AsyncIoScheduler::set_depth(usize depth) {
-  if (depth == depth_) return;
+  if (depth == this->depth()) return;
   quiesce();
-  depth_ = depth;
+  depth_.store(depth, std::memory_order_relaxed);
   if (depth >= 2 && workers_.empty()) {
     std::lock_guard<std::mutex> lk(mu_);
     start_workers_locked();
   } else if (depth < 2 && !workers_.empty()) {
     stop_workers();
   }
+}
+
+void AsyncIoScheduler::raise_depth(usize depth) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (depth <= depth_.load(std::memory_order_relaxed)) return;
+  // Grow without a quiesce: widening the backpressure bound cannot break
+  // the per-disk FIFO ordering (queues are untouched) and accounting is
+  // charged at submission, so mid-flight raises leave IoStats byte-equal.
+  // Going 0/1 -> >=2 also flips enabled(): in-flight state is empty in
+  // that case (the sync path never queued), so spawning workers suffices.
+  depth_.store(depth, std::memory_order_relaxed);
+  if (workers_.empty()) start_workers_locked();
+  lk.unlock();
+  // Wake submitters parked on the old, narrower bound.
+  done_cv_.notify_all();
 }
 
 void AsyncIoScheduler::start_workers_locked() {

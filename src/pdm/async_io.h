@@ -28,6 +28,7 @@
 // rethrown on the next wait()/drain()/submission.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -62,8 +63,20 @@ class AsyncIoScheduler {
   /// disables the pipeline (and joins the workers). Never throws, so it
   /// is safe from RAII destructors during unwinding.
   void set_depth(usize depth);
-  usize depth() const noexcept { return depth_; }
-  bool enabled() const noexcept { return depth_ >= 2; }
+
+  /// Grow-only re-arbitration: raises the depth bound WITHOUT quiescing,
+  /// so a long-running job can absorb freed service capacity mid-flight.
+  /// In-flight submissions keep executing; backpressure waiters are woken
+  /// to observe the wider bound. `depth <= depth()` is a no-op (shrinking
+  /// mid-flight would require the quiesce — use set_depth). Accounting is
+  /// unaffected: charges happen at submission on the submitting thread,
+  /// identically at any depth, so IoStats stay byte-equal across grants.
+  void raise_depth(usize depth);
+
+  usize depth() const noexcept {
+    return depth_.load(std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept { return depth() >= 2; }
 
   /// Submits a batch; the request payload buffers (dst/src) must stay
   /// alive and untouched until the returned ticket completes. Charges the
@@ -127,7 +140,9 @@ class AsyncIoScheduler {
   void rethrow_error_locked();
 
   IoScheduler* sync_;
-  usize depth_ = 0;
+  // Atomic: depth()/enabled() are sampled unlocked by the algorithm
+  // thread while raise_depth() widens the bound from a service thread.
+  std::atomic<usize> depth_{0};
   std::vector<DiskQueue> queues_;  // one per disk
   std::vector<std::thread> workers_;
 

@@ -1,30 +1,73 @@
 #include "pdm/disk_allocator.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace pdm {
 
+namespace {
+
+// Size octave of a span: bucket b holds counts in [2^b, 2^(b+1)).
+u32 size_bucket(u64 count) {
+  return static_cast<u32>(std::bit_width(count)) - 1;
+}
+
+}  // namespace
+
 DiskAllocator::DiskAllocator(u32 num_disks)
-    : num_disks_(num_disks), next_(num_disks, 0), free_(num_disks) {
+    : num_disks_(num_disks),
+      next_(num_disks, 0),
+      free_(num_disks),
+      free_by_size_(num_disks) {
   PDM_CHECK(num_disks > 0, "need at least one disk");
+}
+
+DiskAllocator::FreeList::iterator DiskAllocator::fl_add_locked(u32 disk,
+                                                               u64 index,
+                                                               u64 count) {
+  auto [it, inserted] = free_[disk].emplace(index, count);
+  PDM_ASSERT(inserted, "free-list span already present");
+  free_by_size_[disk][size_bucket(count)].insert(index);
+  return it;
+}
+
+void DiskAllocator::fl_remove_locked(u32 disk, FreeList::iterator it) {
+  auto& buckets = free_by_size_[disk];
+  auto bit = buckets.find(size_bucket(it->second));
+  PDM_ASSERT(bit != buckets.end() && bit->second.erase(it->first) == 1,
+             "free-list span missing from its size bucket");
+  if (bit->second.empty()) buckets.erase(bit);
+  free_[disk].erase(it);
 }
 
 Extent DiskAllocator::take_span_locked(u32 disk, u64 want) {
   auto& fl = free_[disk];
-  // Bounded first-fit: tail fragments that can never satisfy a request
-  // must not make allocation O(free-list length) — past the cap we bump
-  // the cursor instead (the fragments stay reusable for smaller wants).
-  usize scanned = 0;
-  for (auto it = fl.begin(); it != fl.end() && scanned < kMaxFreeScan;
-       ++it, ++scanned) {
-    if (it->second >= want) {
-      Extent e{disk, it->first, want};
-      const u64 rest = it->second - want;
-      const u64 rest_at = it->first + want;
-      fl.erase(it);
-      if (rest > 0) fl.emplace(rest_at, rest);
-      return e;
+  auto& buckets = free_by_size_[disk];
+  auto take = [&](FreeList::iterator it) {
+    Extent e{disk, it->first, want};
+    const u64 rest = it->second - want;
+    const u64 rest_at = it->first + want;
+    fl_remove_locked(disk, it);
+    if (rest > 0) fl_add_locked(disk, rest_at, rest);
+    return e;
+  };
+  // Same-octave spans may still be smaller than `want`; scan a bounded
+  // number of candidates (kMaxFreeScan, the old first-fit cap) before
+  // moving up.
+  const u32 b = size_bucket(want);
+  if (auto bit = buckets.find(b); bit != buckets.end()) {
+    usize scanned = 0;
+    for (u64 index : bit->second) {
+      if (scanned++ >= kMaxFreeScan) break;
+      auto it = fl.find(index);
+      if (it->second >= want) return take(it);
     }
+  }
+  // Any span in a higher octave is a guaranteed fit: take the lowest
+  // address from the smallest such bucket. This is what keeps a big free
+  // span reusable behind arbitrarily many small fragments.
+  for (auto bit = buckets.upper_bound(b); bit != buckets.end(); ++bit) {
+    if (!bit->second.empty()) return take(fl.find(*bit->second.begin()));
   }
   Extent e{disk, next_[disk], want};
   next_[disk] += want;
@@ -42,7 +85,7 @@ void DiskAllocator::insert_free_locked(u32 disk, u64 index, u64 count) {
     if (prev->first + prev->second == index) {
       index = prev->first;
       count += prev->second;
-      fl.erase(prev);
+      fl_remove_locked(disk, prev);
     }
   }
   // Merge with the successor span if it starts exactly at the new end.
@@ -50,10 +93,10 @@ void DiskAllocator::insert_free_locked(u32 disk, u64 index, u64 count) {
     PDM_ASSERT(index + count <= next->first, "double free of extent");
     if (next->first == index + count) {
       count += next->second;
-      fl.erase(next);
+      fl_remove_locked(disk, next);
     }
   }
-  fl.emplace(index, count);
+  fl_add_locked(disk, index, count);
 }
 
 BlockRef DiskAllocator::alloc(u32 disk, u32 region) {
@@ -167,6 +210,7 @@ void DiskAllocator::reset() {
              "still hold reservations");
   for (auto& n : next_) n = 0;
   for (auto& fl : free_) fl.clear();
+  for (auto& b : free_by_size_) b.clear();
   default_live_ = 0;
 }
 

@@ -15,9 +15,16 @@
 //    syscall-coalescible and a tenant's working set within a disk's
 //    stream cache (see MemoryDiskBackend::StreamModel).
 //  - free_extent() returns a span to a per-disk free list (adjacent spans
-//    coalesce); alloc_extent reuses free spans first-fit before bumping
-//    the cursor. Runs release their unused extent tails at finish(), so
-//    tail fragmentation is transient.
+//    coalesce); alloc_extent reuses free spans before bumping the cursor.
+//    Reuse is size-indexed: alongside the address-ordered map (the source
+//    of truth for coalescing) each disk keeps power-of-two size buckets of
+//    free-span addresses. A request scans at most kMaxFreeScan candidates
+//    in its own size octave (same-octave spans may still be too small),
+//    then takes the lowest-addressed span from any higher octave — a
+//    guaranteed fit — so a big span stays findable behind any number of
+//    small fragments (the old bounded first-fit leaked it to the cursor).
+//    Runs release their unused extent tails at finish(), so tail
+//    fragmentation is transient.
 //  - open_region()/close_region() bracket a job's lifetime (PdmContext
 //    does this automatically); close recycles the region's arena tails.
 //    Region 0 is the always-open default region with no arena: it
@@ -37,6 +44,7 @@
 
 #include <map>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "pdm/block.h"
@@ -49,8 +57,9 @@ class DiskAllocator {
   /// Arena refill size for regions opened with arena_blocks = 0.
   static constexpr u64 kDefaultArenaBlocks = 256;
 
-  /// Free-list entries examined per allocation before giving up and
-  /// bumping the cursor (bounds allocation cost under fragmentation).
+  /// Same-octave free spans examined per allocation before falling back
+  /// to a higher size bucket / the cursor (bounds allocation cost under
+  /// fragmentation, as the old whole-list first-fit cap did).
   static constexpr usize kMaxFreeScan = 64;
 
   explicit DiskAllocator(u32 num_disks);
@@ -113,15 +122,26 @@ class DiskAllocator {
     u64 live = 0;               // blocks handed out minus blocks freed
   };
 
+  using FreeList = std::map<u64, u64>;  // index -> count, address order
+
   /// Takes a span of >= `want` blocks on `disk` from the free list
-  /// (first-fit, remainder returned) or the bump cursor. Caller holds mu_.
+  /// (size-bucketed best-octave fit, remainder returned) or the bump
+  /// cursor. Caller holds mu_.
   Extent take_span_locked(u32 disk, u64 want);
   void insert_free_locked(u32 disk, u64 index, u64 count);
 
+  /// The only two mutation points of a disk's free list: keep the
+  /// address-ordered map and the size-bucket index in lockstep.
+  FreeList::iterator fl_add_locked(u32 disk, u64 index, u64 count);
+  void fl_remove_locked(u32 disk, FreeList::iterator it);
+
   mutable std::mutex mu_;
   usize num_disks_;
-  std::vector<u64> next_;                     // bump cursors
-  std::vector<std::map<u64, u64>> free_;      // per disk: index -> count
+  std::vector<u64> next_;               // bump cursors
+  std::vector<FreeList> free_;          // per disk, source of truth
+  // Per disk: size octave (bit_width(count) - 1) -> addresses of free
+  // spans whose count is in [2^b, 2^(b+1)). Counts live in free_.
+  std::vector<std::map<u32, std::set<u64>>> free_by_size_;
   std::map<u32, Region> regions_;
   u32 next_region_ = 1;
   u64 default_live_ = 0;  // live blocks of the default region 0

@@ -25,6 +25,7 @@
 #include "pdm/io_scheduler.h"
 #include "pdm/memory_budget.h"
 #include "pdm/prefetch_buffer.h"
+#include "util/cpu_pool.h"
 #include "util/rng.h"
 
 namespace pdm {
@@ -97,6 +98,22 @@ class PdmContext {
   void set_async_depth(usize depth) { aio_.set_depth(depth); }
   usize async_depth() const noexcept { return aio_.depth(); }
 
+  /// Grow-only mid-flight variant: raises the async depth bound without
+  /// quiescing in-flight submissions (the service's depth re-arbiter uses
+  /// it to top up long-running jobs as capacity frees). Shrinking still
+  /// goes through set_async_depth's quiesce.
+  void raise_async_depth(usize depth) { aio_.raise_depth(depth); }
+
+  /// The in-core kernel budget: how many threads (the algorithm thread
+  /// included) the parallel kernels may use. 1 (the default) keeps every
+  /// kernel on the legacy serial code path — bit-identical output, stats
+  /// and schedule hashes. The service's CPU arbiter grants and re-grants
+  /// this out of ServiceConfig::cpu_threads_total; the setter is
+  /// thread-safe and takes effect at the next parallel region.
+  usize cpu_budget() const noexcept { return cpu_pool_.budget(); }
+  void set_cpu_budget(usize threads) { cpu_pool_.set_budget(threads); }
+  CpuPool& cpu_pool() noexcept { return cpu_pool_; }
+
   /// Writes a batch with write-behind when the pipeline is enabled (the
   /// payload is copied; callers may reuse their buffers immediately) and
   /// synchronously otherwise. All bulk producers route writes here.
@@ -161,6 +178,7 @@ class PdmContext {
   u32 region_ = 0;
   usize extent_blocks_ = kDefaultExtentBlocks;
   Rng rng_;
+  CpuPool cpu_pool_;  // kernel threads; budget 1 = serial (default)
   const std::atomic<bool>* cancel_ = nullptr;
   u64 trace_id_ = 0;
   u64 parent_trace_id_ = 0;

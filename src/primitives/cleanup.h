@@ -65,9 +65,12 @@ CleanupOutcome streamed_cleanup(PdmContext& ctx, ChunkSource<R>& source,
   trace::TraceSpan trace_span("pass", "cleanup", "chunk_records", chunk);
 
   TrackedBuffer<R> window(ctx.budget(), 2 * chunk);
-  // Optional scratch for the parallel window sort (documented extra slack).
+  // Optional scratch for the parallel window sort (documented extra
+  // slack): legacy pool path, or the kernel budget granted by the
+  // service's CPU arbiter (serial budget-1 jobs acquire nothing extra).
+  const bool cpu_parallel = opt.pool == nullptr && ctx.cpu_budget() >= 2;
   TrackedBuffer<R> scratch;
-  if (opt.pool != nullptr) {
+  if (opt.pool != nullptr || cpu_parallel) {
     scratch = TrackedBuffer<R>(ctx.budget(), 2 * chunk);
   }
 
@@ -81,10 +84,15 @@ CleanupOutcome streamed_cleanup(PdmContext& ctx, ChunkSource<R>& source,
     const usize got = source.next_chunk(window.data() + held, chunk);
     if (got == 0 && source.exhausted()) break;
     const usize total = held + got;
-    internal_sort(std::span<R>(window.data(), total), cmp, opt.pool,
-                  opt.pool != nullptr
-                      ? std::span<R>(scratch.data(), scratch.size())
-                      : std::span<R>{});
+    if (cpu_parallel) {
+      internal_sort_budgeted(std::span<R>(window.data(), total), cmp,
+                             ctx.cpu_pool(), scratch.span());
+    } else {
+      internal_sort(std::span<R>(window.data(), total), cmp, opt.pool,
+                    opt.pool != nullptr
+                        ? std::span<R>(scratch.data(), scratch.size())
+                        : std::span<R>{});
+    }
     usize emit;
     if (source.exhausted()) {
       emit = total;  // final flush

@@ -134,12 +134,18 @@ CleanupOutcome lmm_merge_from_parts(PdmContext& ctx,
         }
       }
       ctx.io().read(rreqs);
+      // Merge the batch's groups across the kernel budget — each group
+      // writes a disjoint slice of `merged`, so any budget produces the
+      // same bytes — then stage the write batch serially in the original
+      // group order (the request sequence the schedule hash pins).
+      ctx.cpu_pool().run_chunks(batch.size(), [&](usize g) {
+        detail::merge_segments<R, Cmp>(buf.data() + g * group_sz, l, part_len,
+                                       merged.data() + g * group_sz, cmp);
+      });
       std::vector<WriteReq> wreqs;
       wreqs.reserve(batch.size() * static_cast<usize>(group_sz / rpb));
       for (usize g = 0; g < batch.size(); ++g) {
         R* out = merged.data() + g * group_sz;
-        detail::merge_segments<R, Cmp>(buf.data() + g * group_sz, l, part_len,
-                                       out, cmp);
         for (u64 b = 0; b < group_sz / rpb; ++b) {
           wreqs.push_back(q[batch[g]].stage_append_block(out + b * rpb));
         }
@@ -217,10 +223,12 @@ CleanupOutcome lmm_merge(PdmContext& ctx, std::span<const StripedRun<R>> runs,
     auto unshuffle_and_stage = [&](usize run, u64 g, const R* src, R* dst,
                                    std::vector<WriteReq>& reqs) {
       const u64 per_part = g / m;
-      for (u64 j = 0; j < m; ++j) {
+      // Per-part gathers target disjoint slices of dst: kernel-budget
+      // parallel, byte-identical at any budget.
+      ctx.cpu_pool().run_chunks(static_cast<usize>(m), [&](usize j) {
         R* d = dst + j * per_part;
         for (u64 t = 0; t < per_part; ++t) d[t] = src[t * m + j];
-      }
+      });
       // Part-major staging (see run_formation.h): each part's blocks are
       // consecutive in the batch, so per disk they form extent-contiguous
       // spans the scheduler coalesces; per-disk load is unchanged.

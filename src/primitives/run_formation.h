@@ -68,7 +68,14 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
   TrackedBuffer<R> load(ctx.budget(), static_cast<usize>(run_len));
   TrackedBuffer<R> scratch;
   const bool parallel = opt.pool != nullptr && opt.parallel_scratch;
-  if (parallel) scratch = TrackedBuffer<R>(ctx.budget(), load.size());
+  // In-core kernel budget (PdmContext::cpu_budget): when the service
+  // arbiter granted >= 2 threads, sort each memory load through the
+  // budgeted kernel. Scratch is only acquired on that path, so the
+  // serial (budget 1) memory footprint is unchanged.
+  const bool cpu_parallel = !parallel && ctx.cpu_budget() >= 2;
+  if (parallel || cpu_parallel) {
+    scratch = TrackedBuffer<R>(ctx.budget(), load.size());
+  }
   TrackedBuffer<R> parts_buf;
   if (m > 1) parts_buf = TrackedBuffer<R>(ctx.budget(), load.size());
 
@@ -111,9 +118,14 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
       input.read_blocks(b0, nblocks, load.data());
       buf = load.data();
     }
-    internal_sort(std::span<R>(buf, static_cast<usize>(nrec)), cmp,
-                  parallel ? opt.pool : nullptr,
-                  parallel ? scratch.span() : std::span<R>{});
+    if (cpu_parallel) {
+      internal_sort_budgeted(std::span<R>(buf, static_cast<usize>(nrec)), cmp,
+                             ctx.cpu_pool(), scratch.span());
+    } else {
+      internal_sort(std::span<R>(buf, static_cast<usize>(nrec)), cmp,
+                    parallel ? opt.pool : nullptr,
+                    parallel ? scratch.span() : std::span<R>{});
+    }
 
     std::vector<StripedRun<R>>& runs_i = out.emplace_back();
     if (m == 1) {
@@ -134,11 +146,13 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
     // batched operation: part j, block b covers part positions
     // [b*B, (b+1)*B), i.e. source indices (b*B + t)*m + j.
     const u64 p_len = run_len / m;
-    for (u64 j = 0; j < m; ++j) {
+    // Per-part gathers write disjoint slices of parts_buf, so running
+    // them across the kernel budget is byte-identical to the serial loop.
+    ctx.cpu_pool().run_chunks(static_cast<usize>(m), [&](usize j) {
       R* dst = parts_buf.data() + j * p_len;
       const R* src = buf;
       for (u64 t = 0; t < p_len; ++t) dst[t] = src[t * m + j];
-    }
+    });
     runs_i.reserve(m);
     std::vector<WriteReq> reqs;
     reqs.reserve(static_cast<usize>(m * (p_len / rpb)));

@@ -69,6 +69,8 @@ struct ShardLoad {
   usize reserved_bytes = 0;  // admission reservations currently held
   usize budget_limit = 0;    // the shard's total memory budget
   usize depth_in_use = 0;    // granted async pipeline depth
+  usize cpu_in_use = 0;      // granted kernel threads (CPU arbiter)
+  usize cpu_total = 0;       // the shard's cpu_threads_total budget
   usize workers = 0;         // the shard's worker-pool size
 
   /// Scalar used to compare shards: in-flight work plus the reserved

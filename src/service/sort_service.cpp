@@ -117,10 +117,18 @@ AdmissionSlack algo_admission_slack(Algo a) {
 usize SortService::admission_carve(const SortJobSpec& spec,
                                    usize record_bytes, u64 n) const {
   if (spec.carve_bytes != 0) return spec.carve_bytes;
-  const auto uniform =
-      static_cast<usize>(cfg_.mem_slack *
-                         static_cast<double>(spec.mem_records) *
-                         static_cast<double>(record_bytes));
+  const double mrec_bytes = static_cast<double>(spec.mem_records) *
+                            static_cast<double>(record_bytes);
+  const auto uniform = static_cast<usize>(cfg_.mem_slack * mrec_bytes);
+  // Parallel in-core kernels acquire tracked scratch (ping-pong merge
+  // buffers) only when the job's CPU grant is >= 2: one extra M-load for
+  // the internal sort, up to two for the LMM family's cleanup window.
+  // Added AFTER the per-algorithm/uniform min below, so the cap cannot
+  // under-carve a job that will run parallel; zero when cpu_threads_total
+  // leaves every job serial (carves stay byte-identical to the serial
+  // configuration).
+  double par_mult = cfg_.cpu_threads_total >= 2 ? 2.0 : 0.0;
+  usize base = uniform;
   const usize bb = backend_->block_bytes();
   if (cfg_.plan_aware_admission && n > 0 && record_bytes > 0 &&
       bb % record_bytes == 0) {
@@ -129,17 +137,19 @@ usize SortService::admission_carve(const SortJobSpec& spec,
       const AdmissionSlack s = algo_admission_slack(e->algo);
       if (s.calibrated) {
         const auto carve = static_cast<usize>(
-            s.m_mult * static_cast<double>(spec.mem_records) *
-                static_cast<double>(record_bytes) +
+            s.m_mult * mrec_bytes +
             s.block_overhead * static_cast<double>(backend_->num_disks()) *
                 static_cast<double>(bb));
         // Never raise a carve above the conservative bound: a tighter
         // global mem_slack keeps capping every admission.
-        return std::min(carve, uniform);
+        base = std::min(carve, uniform);
+        if (cfg_.cpu_threads_total >= 2) {
+          par_mult = e->algo == Algo::kInternal ? 1.0 : 2.0;
+        }
       }
     }
   }
-  return uniform;
+  return base + static_cast<usize>(par_mult * mrec_bytes);
 }
 
 bool SortService::queue_before(const Job& a, const Job& b) const {
@@ -531,6 +541,8 @@ ShardLoad SortService::load() const {
   l.reserved_bytes = budget_.current();
   l.budget_limit = budget_.limit();
   l.depth_in_use = depth_in_use_;
+  l.cpu_in_use = cpu_in_use_;
+  l.cpu_total = cfg_.cpu_threads_total;
   l.workers = cfg_.workers;
   return l;
 }
@@ -582,6 +594,65 @@ usize SortService::grant_depth_locked() {
   return depth;
 }
 
+usize SortService::grant_cpu_locked() {
+  if (cfg_.cpu_threads_total < 2) return 0;
+  const usize share = std::max<usize>(
+      2, cfg_.cpu_threads_total / std::max<usize>(1, cfg_.workers));
+  const usize avail = cfg_.cpu_threads_total - cpu_in_use_;
+  const usize cpu = std::min(share, avail);
+  if (cpu < 2) return 0;
+  cpu_in_use_ += cpu;
+  return cpu;
+}
+
+void SortService::regrant_locked() {
+  // A finished job returned its grants: top the survivors up toward the
+  // fair share at the *current* occupancy instead of letting the freed
+  // budget idle until the next admission. Raises only — a job's budget
+  // never shrinks mid-flight (CpuPool::set_budget takes effect at the next
+  // parallel region; AsyncIoScheduler::raise_depth widens the pipeline
+  // without a quiesce). Stats stay byte-identical because both knobs are
+  // accounted at submission, not at completion.
+  const usize tasks = std::max<usize>(1, active_grants_.size());
+  if (cfg_.io_depth_total >= 2) {
+    const usize fair = std::max<usize>(2, cfg_.io_depth_total / tasks);
+    for (auto& g : active_grants_) {
+      if (g.depth >= fair) continue;
+      const usize avail = cfg_.io_depth_total - depth_in_use_;
+      const usize target = std::min(fair, g.depth + avail);
+      if (target <= g.depth || target < 2) continue;
+      depth_in_use_ += target - g.depth;
+      g.depth = target;
+      g.ctx->raise_async_depth(target);
+    }
+  }
+  if (cfg_.cpu_threads_total >= 2) {
+    const usize fair = std::max<usize>(2, cfg_.cpu_threads_total / tasks);
+    for (auto& g : active_grants_) {
+      if (g.cpu >= fair) continue;
+      const usize avail = cfg_.cpu_threads_total - cpu_in_use_;
+      const usize target = std::min(fair, g.cpu + avail);
+      if (target <= g.cpu || target < 2) continue;
+      cpu_in_use_ += target - g.cpu;
+      g.cpu = target;
+      g.ctx->set_cpu_budget(target);
+    }
+  }
+  update_cpu_gauges_locked();
+}
+
+void SortService::update_cpu_gauges_locked() {
+  auto& reg = metrics::Registry::global();
+  reg.gauge("cpu.granted").set(static_cast<std::int64_t>(cpu_in_use_));
+  usize waiting = 0;
+  if (cfg_.cpu_threads_total >= 2) {
+    for (const auto& g : active_grants_) {
+      if (g.cpu < 2) ++waiting;  // running serial for lack of threads
+    }
+  }
+  reg.gauge("cpu.waiting").set(static_cast<std::int64_t>(waiting));
+}
+
 void SortService::worker_loop() {
   trace::TraceLog::instance().set_thread_name("svc-worker");
   std::unique_lock lock(mu_);
@@ -594,15 +665,17 @@ void SortService::worker_loop() {
     }
     ++active_tasks_;
     const usize depth = grant_depth_locked();
+    const usize cpu = grant_cpu_locked();
     ++batches_run_;
     lock.unlock();
 
-    run_claim(claim, depth);
+    // run_claim returns the grants (and re-grants the freed budget to the
+    // survivors) itself, before its context is destroyed.
+    run_claim(claim, depth, cpu);
     budget_.release(claim.carve);
 
     lock.lock();
     --active_tasks_;
-    depth_in_use_ -= depth;
     work_cv_.notify_all();  // freed memory and depth: others may admit
     done_cv_.notify_all();
     if (capacity_cb_) {
@@ -617,17 +690,54 @@ void SortService::worker_loop() {
   }
 }
 
-void SortService::run_claim(Claim& claim, usize depth) {
+void SortService::run_claim(Claim& claim, usize depth, usize cpu) {
   trace::TraceSpan trace_span("service", "batch_execute", "jobs",
                               claim.members.size());
+  // Returns this claim's grants exactly once, on every exit path, and
+  // BEFORE the context dies (regrant_locked must never see a dangling
+  // ctx). The re-grant happens here rather than in worker_loop so freed
+  // threads/depth reach long-running neighbours immediately. The grants
+  // released are read back from the registry entry — regrant_locked may
+  // have topped them up past the initial (depth, cpu).
+  bool released = false;
+  auto release_grants = [&](PdmContext* ctx) noexcept {
+    if (released) return;
+    released = true;
+    std::lock_guard g(mu_);
+    usize d = depth;
+    usize c = cpu;
+    auto it = std::find_if(active_grants_.begin(), active_grants_.end(),
+                           [&](const ActiveGrant& a) { return a.ctx == ctx; });
+    if (it != active_grants_.end()) {
+      d = it->depth;
+      c = it->cpu;
+      active_grants_.erase(it);
+    }
+    depth_in_use_ -= d;
+    cpu_in_use_ -= c;
+    regrant_locked();
+  };
   try {
     PdmContext ctx(backend_, alloc_, claim.carve, cfg_.cost,
                    cfg_.seed + claim.members.front()->id, &io_totals_);
     ctx.set_extent_blocks(cfg_.extent_blocks);
     ctx.io().set_coalescing(cfg_.coalesce_io);
     if (depth >= 2) ctx.set_async_depth(depth);
-    for (auto& j : claim.members) run_one(*j, ctx);
+    if (cpu >= 2) ctx.set_cpu_budget(cpu);
+    {
+      std::lock_guard g(mu_);
+      active_grants_.push_back(ActiveGrant{&ctx, depth, cpu});
+      update_cpu_gauges_locked();
+    }
+    try {
+      for (auto& j : claim.members) run_one(*j, ctx);
+    } catch (...) {
+      release_grants(&ctx);
+      throw;
+    }
+    release_grants(&ctx);
   } catch (const std::exception& e) {
+    release_grants(nullptr);  // no-op unless PdmContext setup itself threw
     // Context setup or teardown failed: every member that has not reached
     // a terminal state goes down with it.
     const auto now = Clock::now();

@@ -64,6 +64,14 @@ struct ServiceConfig {
   /// every job synchronous.
   usize io_depth_total = 8;
 
+  /// Aggregate in-core kernel threads shared by active jobs, arbitrated
+  /// like io_depth_total: each started job is granted its share (>= 2 or
+  /// nothing), the grant is released when the job finishes, and freed
+  /// capacity is re-granted to still-running jobs mid-flight. 1 (the
+  /// default) keeps every job's in-memory work on its worker thread —
+  /// the bit-identical legacy serial path.
+  usize cpu_threads_total = 1;
+
   /// Default carve = mem_slack * mem_records * sizeof(record): the
   /// documented per-algorithm working-set slack (~2.5M) plus the async
   /// pipeline's extra load buffer and write-behind slabs, rounded up.
@@ -318,7 +326,15 @@ class SortService {
   void worker_loop();
   Claim try_claim_locked();
   usize grant_depth_locked();
-  void run_claim(Claim& claim, usize depth);
+  usize grant_cpu_locked();
+  /// Re-grants freed async depth and CPU threads to still-running jobs
+  /// (called when a task releases its grants): each registered running
+  /// context is topped up toward the fair share at the current task
+  /// count. Depth growth is quiesce-free (AsyncIoScheduler::raise_depth);
+  /// CPU growth applies at the job's next parallel region.
+  void regrant_locked();
+  void update_cpu_gauges_locked();
+  void run_claim(Claim& claim, usize depth, usize cpu);
   void run_one(Job& job, PdmContext& ctx);
   JobInfo snapshot_locked(const Job& job) const;
   bool queue_before(const Job& a, const Job& b) const;
@@ -347,6 +363,17 @@ class SortService {
   bool stop_ = false;
   usize active_tasks_ = 0;
   usize depth_in_use_ = 0;
+  usize cpu_in_use_ = 0;
+  /// Running tasks' contexts with their current grants, registered for
+  /// the lifetime of run_claim so regrant_locked can top them up. The
+  /// context outlives its entry (deregistered under mu_ before
+  /// destruction).
+  struct ActiveGrant {
+    PdmContext* ctx;
+    usize depth;
+    usize cpu;
+  };
+  std::vector<ActiveGrant> active_grants_;
   u64 batches_run_ = 0;
   bool any_start_ = false;
   Clock::time_point first_start_;

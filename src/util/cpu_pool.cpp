@@ -1,0 +1,111 @@
+#include "util/cpu_pool.h"
+
+#include "util/trace.h"
+
+namespace pdm {
+
+CpuPool::CpuPool(usize budget) : budget_(budget == 0 ? usize{1} : budget) {}
+
+CpuPool::~CpuPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : helpers_) t.join();
+}
+
+void CpuPool::set_budget(usize threads) {
+  budget_.store(threads == 0 ? usize{1} : threads, std::memory_order_relaxed);
+}
+
+void CpuPool::ensure_helpers_locked(usize want) {
+  while (helpers_.size() < want) {
+    helpers_.emplace_back([this] { helper_loop(); });
+  }
+}
+
+void CpuPool::work(Region& r) {
+  for (;;) {
+    const usize i = r.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= r.num_chunks) return;
+    try {
+      (*r.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!r.error) r.error = std::current_exception();
+      // Fast-forward so every participant drains without running more
+      // chunks; the caller rethrows after the region quiesces.
+      r.next.store(r.num_chunks, std::memory_order_relaxed);
+    }
+  }
+}
+
+void CpuPool::helper_loop() {
+  trace::TraceLog::instance().set_thread_name("pdm-cpu");
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] {
+      return stop_ || (region_ != nullptr && region_->slots > 0);
+    });
+    if (stop_) return;
+    Region& r = *region_;
+    --r.slots;
+    ++r.active;
+    lk.unlock();
+    {
+      PDM_TRACE_SPAN("kernel", "cpu_pool.helper");
+      work(r);
+    }
+    lk.lock();
+    if (--r.active == 0) done_cv_.notify_all();
+  }
+}
+
+void CpuPool::run_chunks(usize num_chunks,
+                         const std::function<void(usize)>& fn) {
+  if (num_chunks == 0) return;
+  const usize budget = budget_.load(std::memory_order_relaxed);
+  if (budget <= 1 || num_chunks == 1) {
+    // Serial path: inline, in index order — bit-identical to the legacy
+    // single-threaded kernels and free of any pool state.
+    for (usize i = 0; i < num_chunks; ++i) fn(i);
+    return;
+  }
+
+  Region r;
+  r.fn = &fn;
+  r.num_chunks = num_chunks;
+  r.slots = std::min(budget - 1, num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    PDM_ASSERT(region_ == nullptr, "cpu_pool: nested parallel region");
+    ensure_helpers_locked(r.slots);
+    region_ = &r;
+  }
+  work_cv_.notify_all();
+
+  work(r);  // the caller is a full participant
+
+  std::unique_lock<std::mutex> lk(mu_);
+  region_ = nullptr;  // helpers that missed the window stay parked
+  done_cv_.wait(lk, [&r] { return r.active == 0; });
+  std::exception_ptr err = r.error;
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+void CpuPool::parallel_ranges(usize begin, usize end, usize chunks,
+                              const std::function<void(usize, usize)>& fn) {
+  const usize n = end - begin;
+  if (n == 0) return;
+  if (chunks > n) chunks = n;
+  if (chunks == 0) chunks = 1;
+  run_chunks(chunks, [&](usize c) {
+    const usize lo = begin + n * c / chunks;
+    const usize hi = begin + n * (c + 1) / chunks;
+    fn(lo, hi);
+  });
+}
+
+}  // namespace pdm

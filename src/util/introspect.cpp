@@ -45,7 +45,8 @@ std::string to_text(const StateDump& d) {
     os << "  shard " << s.shard << (s.active ? " active" : " retired")
        << " queued=" << s.queued << " running=" << s.running << '/'
        << s.workers << " reserved=" << s.reserved_bytes << '/'
-       << s.budget_limit << '\n';
+       << s.budget_limit << " cpu=" << s.cpu_in_use << '/' << s.cpu_total
+       << '\n';
   }
   if (!d.metrics.empty()) {
     os << "  metrics:\n";
@@ -97,7 +98,9 @@ std::string to_json(const StateDump& d) {
        << ",\"queued\":" << s.queued << ",\"running\":" << s.running
        << ",\"workers\":" << s.workers
        << ",\"reserved_bytes\":" << s.reserved_bytes
-       << ",\"budget_limit\":" << s.budget_limit << '}';
+       << ",\"budget_limit\":" << s.budget_limit
+       << ",\"cpu_in_use\":" << s.cpu_in_use
+       << ",\"cpu_total\":" << s.cpu_total << '}';
   }
   os << "],\"distributed_active\":" << d.distributed_active
      << ",\"metrics\":";

@@ -54,6 +54,8 @@ struct ShardSnapshot {
   std::uint64_t workers = 0;
   std::uint64_t reserved_bytes = 0;
   std::uint64_t budget_limit = 0;
+  std::uint64_t cpu_in_use = 0;  // kernel threads granted by the arbiter
+  std::uint64_t cpu_total = 0;   // the shard's cpu_threads_total budget
 };
 
 struct StateDump {

@@ -70,6 +70,11 @@ TEST(Cluster, RoundRobinSpreadsEvenly)
   cfg.shards = 4;
   cfg.policy = RoutePolicy::kRoundRobin;
   cfg.shard.workers = 1;
+  // Policy behavior in isolation: no hold-queue stealing, so every job
+  // stays on its round-robin shard however busy it is (with 1 worker a
+  // shard's later jobs park, and an idle neighbour finishing out of
+  // order would otherwise steal them and skew the spread).
+  cfg.hold_queue = false;
   Cluster cluster(memory_backend_factory(kDisksPerShard, kBlockBytes), cfg);
   Rng rng(1);
   std::atomic<int> ok{0}, bad{0};
