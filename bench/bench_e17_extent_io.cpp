@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   const u64 n_mult = cli.get_u64("n_mult", 4);  // records per job = n_mult*M
   const u64 repeats = cli.get_u64("repeats", 3);
   const double gate = cli.get_double("gate", 1.3);
-  const std::string json_out = cli.get("json_out", "BENCH_PR9.json");
+  const std::string json_out = cli.get("json_out", "BENCH_PR10.json");
 
   StreamModel stream;
   stream.seq_us = cli.get_u64("seq_us", 4);

@@ -13,6 +13,7 @@
 #include "core/expected_six_pass.h"
 #include "core/expected_three_pass.h"
 #include "core/expected_two_pass.h"
+#include "core/order_adaptive.h"
 #include "core/seven_pass.h"
 #include "core/three_pass_lmm.h"
 #include "core/three_pass_mesh.h"
@@ -29,6 +30,7 @@ enum class Algo {
   kExpectedSixPass,
   kSevenPass,
   kMultiwayMerge,
+  kOrderAdaptive,
 };
 
 inline const char* algo_name(Algo a) {
@@ -41,6 +43,7 @@ inline const char* algo_name(Algo a) {
     case Algo::kExpectedSixPass: return "ExpectedSixPass";
     case Algo::kSevenPass: return "SevenPass";
     case Algo::kMultiwayMerge: return "MultiwayMerge";
+    case Algo::kOrderAdaptive: return "OrderAdaptive";
   }
   return "?";
 }
@@ -50,13 +53,17 @@ struct PlanEntry {
   bool feasible = false;
   double expected_passes = 0;
   u64 capacity = 0;        // max N this algorithm handles at these params
+  u64 est_runs = 0;        // kOrderAdaptive: probed run-count estimate
   std::string note;
 };
 
 /// Enumerates every algorithm with feasibility for the given shape. B and
 /// M are in records; alpha is the w.h.p. exponent for expected variants.
+/// est_runs > 0 is a presortedness-probe run-count estimate (see
+/// core/order_adaptive.h); without it the order-adaptive plan is
+/// unranked — the planner refuses to guess how much order the input has.
 inline std::vector<PlanEntry> plan_options(u64 n, u64 mem, u64 rpb,
-                                           double alpha) {
+                                           double alpha, u64 est_runs = 0) {
   std::vector<PlanEntry> out;
   const u64 s = isqrt(mem);
   const bool square = s * s == mem;
@@ -138,18 +145,51 @@ inline std::vector<PlanEntry> plan_options(u64 n, u64 mem, u64 rpb,
     e.note = "baseline; parallelism expected, not guaranteed";
     out.push_back(e);
   }
+  {
+    PlanEntry e;
+    e.algo = Algo::kOrderAdaptive;
+    e.capacity = ~u64{0};
+    e.est_runs = est_runs;
+    if (est_runs > 0) {
+      // Same approximate fan as the multiway entry (plan_options has no D).
+      const u64 fan = std::max<u64>(2, mem / rpb / 2);
+      e.expected_passes = order_adaptive_predicted_passes(est_runs, fan);
+      e.feasible = n > mem && n % rpb == 0;
+      e.note = "probe: ~" + std::to_string(est_runs) +
+               " replacement-selection runs";
+    } else {
+      e.expected_passes = 0;
+      e.feasible = false;
+      e.note = "needs presortedness probe (est_runs unknown)";
+    }
+    out.push_back(e);
+  }
   return out;
 }
 
 /// Picks the feasible plan with the fewest expected passes among the
 /// paper's algorithms (whose parallelism is guaranteed); the multiway
 /// baseline — whose *data* passes are few but whose parallel-I/O count is
-/// only an expectation — is chosen only when nothing else fits.
-inline PlanEntry choose_plan(u64 n, u64 mem, u64 rpb, double alpha) {
-  auto options = plan_options(n, mem, rpb, alpha);
+/// only an expectation — is chosen only when nothing else fits. A probed
+/// order-adaptive plan (est_runs > 0) wins only when its predicted pass
+/// count is *strictly* lower: ties keep the legacy choice, so random
+/// input (probe ≈ N/2M runs ⇒ the same pass count as the fixed plans)
+/// stays byte-identical to historical behavior.
+inline PlanEntry choose_plan(u64 n, u64 mem, u64 rpb, double alpha,
+                             u64 est_runs = 0) {
+  auto options = plan_options(n, mem, rpb, alpha, est_runs);
   const PlanEntry* best = nullptr;
   for (const auto& e : options) {
-    if (!e.feasible || e.algo == Algo::kMultiwayMerge) continue;
+    if (!e.feasible || e.algo == Algo::kMultiwayMerge ||
+        e.algo == Algo::kOrderAdaptive) {
+      continue;
+    }
+    if (best == nullptr || e.expected_passes < best->expected_passes) {
+      best = &e;
+    }
+  }
+  for (const auto& e : options) {
+    if (e.algo != Algo::kOrderAdaptive || !e.feasible) continue;
     if (best == nullptr || e.expected_passes < best->expected_passes) {
       best = &e;
     }
@@ -170,6 +210,9 @@ struct AdaptiveOptions {
   double alpha = 1.0;
   ThreadPool* pool = nullptr;
   std::optional<Algo> force;  // override the planner
+  u64 est_runs = 0;           // presortedness estimate (0 = none)
+  bool probe = false;         // probe the input when est_runs == 0
+  RunFormationMode adaptive_mode = RunFormationMode::kReplacementSelection;
 };
 
 /// Sorts with the planner-selected algorithm.
@@ -177,10 +220,16 @@ template <Record R, class Cmp = std::less<R>>
 SortResult<R> pdm_sort(PdmContext& ctx, const StripedRun<R>& input,
                        const AdaptiveOptions& opt, Cmp cmp = {}) {
   const usize rpb = ctx.rpb<R>();
+  u64 est_runs = opt.est_runs;
+  if (!opt.force.has_value() && est_runs == 0 && opt.probe &&
+      input.size() > opt.mem_records) {
+    est_runs =
+        probe_presortedness<R>(ctx, input, opt.mem_records, cmp).est_runs;
+  }
   const Algo algo = opt.force.has_value()
                         ? *opt.force
                         : choose_plan(input.size(), opt.mem_records, rpb,
-                                      opt.alpha)
+                                      opt.alpha, est_runs)
                               .algo;
   switch (algo) {
     case Algo::kInternal: {
@@ -250,6 +299,13 @@ SortResult<R> pdm_sort(PdmContext& ctx, const StripedRun<R>& input,
       o.mem_records = opt.mem_records;
       o.pool = opt.pool;
       return multiway_merge_sort<R>(ctx, input, o, cmp);
+    }
+    case Algo::kOrderAdaptive: {
+      OrderAdaptiveOptions o;
+      o.mem_records = opt.mem_records;
+      o.mode = opt.adaptive_mode;
+      o.pool = opt.pool;
+      return order_adaptive_sort<R>(ctx, input, o, cmp);
     }
   }
   fail("unreachable: unknown algorithm");

@@ -52,10 +52,18 @@ class LoserTree {
   static constexpr usize kNone = static_cast<usize>(-1);
 
   // Returns the winner (smaller) of the two leaf indices; dead leaves lose.
+  // Ties break toward the lower source index. In the initial play() the
+  // left subtree always holds the lower leaf range, so "prefer a" was
+  // enough there — but replay() calls better(cur, other) with cur on
+  // either side, and preferring cur would resolve ties toward whichever
+  // source replaced last, making the k-way merge unstable by source
+  // index. The explicit index comparison keeps both paths stable.
   usize better(usize a, usize b) const {
     if (a == kNone || !alive_[a]) return b;
     if (b == kNone || !alive_[b]) return a;
-    return cmp_(val_[b], val_[a]) ? b : a;  // stable: prefer a on ties
+    if (cmp_(val_[b], val_[a])) return b;
+    if (cmp_(val_[a], val_[b])) return a;
+    return a < b ? a : b;  // tie: lower source index wins
   }
 
   usize play(usize node) {

@@ -1,0 +1,221 @@
+// Order-adaptive run formation engines (Bender et al., "Run Generation
+// Revisited", PAPERS.md): replacement selection through the loser tree
+// emits runs of expected length 2M on random input and a *single* run on
+// any input whose records are displaced by at most M/2 positions from
+// sorted order; the alternating up/down variant additionally collapses
+// reverse-sorted input (and is 2-competitive in general). Both stream the
+// input with the same memory-load read batches as the fixed-run path, so
+// the read-side I/O schedule is identical — only run boundaries move.
+//
+// Memory: the M-record tournament heap plus one staging block and the
+// double-buffered input loads are charged to the context budget; the loser
+// tree's internal arrays (~2 * bit_ceil(M) entries of {tag, record}) are
+// not, matching how the merge passes already account for their trees.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "internal/loser_tree.h"
+#include "pdm/memory_budget.h"
+#include "pdm/prefetch_buffer.h"
+#include "pdm/striped_run.h"
+#include "util/math_util.h"
+#include "util/trace.h"
+
+namespace pdm {
+namespace detail {
+
+/// Tournament entry: records compare first by run tag — an earlier run
+/// drains completely before any record of a later run surfaces — then by
+/// key, ascending for even tags and descending for odd tags when the
+/// up/down policy is active.
+template <class R>
+struct RsItem {
+  u64 run = 0;
+  R rec{};
+};
+
+template <class R, class Cmp>
+struct RsLess {
+  Cmp cmp;
+  bool updown;
+  bool operator()(const RsItem<R>& a, const RsItem<R>& b) const {
+    if (a.run != b.run) return a.run < b.run;
+    if (updown && (a.run & 1) != 0) return cmp(b.rec, a.rec);
+    return cmp(a.rec, b.rec);
+  }
+};
+
+}  // namespace detail
+
+/// Replacement-selection run formation over a striped input range.
+/// Emits variable-length ascending runs: every run except possibly the
+/// last holds at least `heap_records` records (the heap is full when the
+/// run opens), expected 2*heap_records on random input, and sorted input
+/// yields exactly one run. With `updown`, odd-numbered runs are selected
+/// descending — written with per-block record reversal and a metadata
+/// block-list flip (StripedRun::reverse_blocks), so every emitted run is
+/// stored ascending with zero extra I/O. A descending run's sub-block
+/// tail cannot be block-reversed; it is emitted as its own mini-run of
+/// fewer than B records (at most one per down run).
+///
+/// Run i starts on disk (i * start_stride) mod D, the same staggering as
+/// the fixed path, so cleanup/merge reads spread over all disks.
+template <Record R, class Cmp = std::less<R>>
+std::vector<StripedRun<R>> replacement_select_runs(
+    PdmContext& ctx, const StripedRun<R>& input, u64 heap_records,
+    u64 first_record, u64 num_records, bool updown, u32 start_stride,
+    Cmp cmp = {}) {
+  const usize rpb = ctx.rpb<R>();
+  PDM_CHECK(heap_records > 0 && heap_records % rpb == 0,
+            "heap size must be a positive multiple of B");
+  PDM_CHECK(first_record % rpb == 0, "range start must be block aligned");
+  PDM_CHECK(first_record <= input.size(), "range start out of bounds");
+  const u64 n = num_records == 0 ? input.size() - first_record : num_records;
+  PDM_CHECK(first_record + n <= input.size(), "range end out of bounds");
+  PDM_CHECK(n > 0, "empty input");
+  trace::TraceSpan trace_span("pass", "run_formation_adaptive", "records", n);
+
+  // Input streaming: heap-sized batched reads, double buffered through the
+  // async pipeline — the same load geometry as the fixed path, so the
+  // read-side op and block counts match it exactly.
+  const u64 load_len = heap_records;
+  const u64 num_loads = ceil_div(n, load_len);
+  TrackedBuffer<R> load(ctx.budget(), static_cast<usize>(load_len));
+  const bool async = ctx.aio().enabled();
+  TrackedBuffer<R> load2;
+  if (async) load2 = TrackedBuffer<R>(ctx.budget(), load.size());
+  PipelineDrainGuard drain_guard(ctx.aio());
+
+  R* bufs[2] = {load.data(), async ? load2.data() : nullptr};
+  IoTicket tickets[2] = {0, 0};
+  auto blocks_of = [&](u64 li) {
+    const u64 rec0 = first_record + li * load_len;
+    const u64 nrec = std::min<u64>(load_len, first_record + n - rec0);
+    return std::pair<u64, u64>{rec0 / rpb, ceil_div(nrec, rpb)};
+  };
+  auto issue = [&](u64 li, usize slot) {
+    const auto [b0, nblocks] = blocks_of(li);
+    tickets[slot] = input.read_blocks_async(b0, nblocks, bufs[slot]);
+  };
+
+  usize slot = 0;
+  u64 next_load = 0;  // next load index to consume
+  u64 valid = 0;      // records in the current load
+  usize pos = 0;      // cursor within the current load
+  R* buf = nullptr;
+  if (async) issue(0, 0);
+  auto next_record = [&](R& dst) -> bool {
+    if (pos >= valid) {
+      if (next_load >= num_loads) return false;
+      if (async) {
+        ctx.aio().wait(tickets[slot]);
+        buf = bufs[slot];
+        if (next_load + 1 < num_loads) issue(next_load + 1, slot ^ 1);
+        slot ^= 1;
+      } else {
+        const auto [b0, nblocks] = blocks_of(next_load);
+        input.read_blocks(b0, nblocks, load.data());
+        buf = load.data();
+      }
+      valid = std::min<u64>(load_len, n - next_load * load_len);
+      pos = 0;
+      ++next_load;
+    }
+    dst = buf[pos++];
+    return true;
+  };
+
+  // Fill the tournament: the first min(M, N) records all carry run tag 0,
+  // which is what guarantees every non-final run's length is >= M — when
+  // run r opens, all M tree slots hold tag-r records, and each of them
+  // must be emitted into run r before any tag-(r+1) record surfaces.
+  using Item = detail::RsItem<R>;
+  using Less = detail::RsLess<R, Cmp>;
+  const usize k = static_cast<usize>(std::min<u64>(heap_records, n));
+  LoserTree<Item, Less> tree(k, Less{cmp, updown});
+  {
+    R r{};
+    for (usize i = 0; i < k; ++i) {
+      const bool ok = next_record(r);
+      PDM_CHECK(ok, "input exhausted during heap fill");
+      tree.set_initial(i, Item{0, r});
+    }
+  }
+  tree.build();
+
+  std::vector<StripedRun<R>> out;
+  TrackedBuffer<R> block_buf(ctx.budget(), rpb);
+  usize fill = 0;
+  constexpr u64 kNoRun = static_cast<u64>(-1);
+  u64 cur_run = kNoRun;
+  bool down = false;  // current run is selected descending
+
+  auto open_run = [&](u64 run_no) {
+    out.emplace_back(ctx,
+                     static_cast<u32>((out.size() * start_stride) % ctx.D()));
+    cur_run = run_no;
+    down = updown && (run_no & 1) != 0;
+  };
+  auto flush_block = [&]() {
+    if (fill == 0) return;
+    // Down runs reverse each block's records at staging; after the run
+    // finishes, reverse_blocks() flips the block order and the stored run
+    // reads ascending.
+    if (down) std::reverse(block_buf.data(), block_buf.data() + fill);
+    out.back().append(std::span<const R>(block_buf.data(), fill));
+    fill = 0;
+  };
+  auto close_run = [&]() {
+    if (cur_run == kNoRun) return;
+    if (!down) {
+      flush_block();  // a partial tail is fine for an ascending run
+      out.back().finish();
+      return;
+    }
+    out.back().finish();
+    out.back().reverse_blocks();
+    if (out.back().empty()) out.pop_back();  // down run shorter than B
+    if (fill > 0) {
+      // Sub-block tail of a down run: becomes its own tiny ascending run.
+      std::reverse(block_buf.data(), block_buf.data() + fill);
+      out.emplace_back(
+          ctx, static_cast<u32>((out.size() * start_stride) % ctx.D()));
+      out.back().append(std::span<const R>(block_buf.data(), fill));
+      out.back().finish();
+      fill = 0;
+    }
+  };
+
+  while (!tree.empty()) {
+    const Item top = tree.min_value();  // copy: replace_min overwrites it
+    if (top.run != cur_run) {
+      close_run();
+      open_run(top.run);
+    }
+    R incoming{};
+    if (next_record(incoming)) {
+      // Classic replacement selection: the incoming record joins the
+      // current run iff emitting it after `top.rec` keeps the run's order
+      // (>= for ascending runs, <= for descending); otherwise it waits in
+      // the heap under the next run's tag.
+      const bool eligible =
+          down ? !cmp(top.rec, incoming) : !cmp(incoming, top.rec);
+      tree.replace_min(Item{eligible ? top.run : top.run + 1, incoming});
+    } else {
+      tree.exhaust_min();
+    }
+    block_buf.data()[fill++] = top.rec;
+    if (fill == rpb) {
+      ctx.check_cancelled();
+      flush_block();
+    }
+  }
+  close_run();
+  return out;
+}
+
+}  // namespace pdm

@@ -18,6 +18,7 @@
 // region (the block-interleaved baseline).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -187,6 +188,21 @@ class StripedRun {
       tail_.clear();
     }
     release_extent_tails();
+  }
+
+  /// Reverses the block order in place — pure metadata, no I/O. Used by
+  /// up/down run formation: a descending run is written with the records
+  /// of each block reversed, then the block list is flipped here, which
+  /// yields an ascending run. Requires a finished run of whole blocks
+  /// (a partial tail block would land in the middle of the record order).
+  /// The stripe then walks the disks downward, which is still D-distinct
+  /// per D consecutive blocks, so batched reads keep full parallelism.
+  void reverse_blocks() {
+    PDM_CHECK(finished_, "reverse_blocks before finish()");
+    PDM_CHECK(size_ % rpb_ == 0,
+              "reverse_blocks requires whole blocks (no partial tail)");
+    std::reverse(blocks_.begin(), blocks_.end());
+    if (!blocks_.empty()) start_disk_ = blocks_.front().disk;
   }
 
   /// Read request for block i into caller memory (rpb records of space).

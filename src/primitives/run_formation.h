@@ -7,10 +7,12 @@
 #pragma once
 
 #include <functional>
+#include <numeric>
 #include <span>
 #include <vector>
 
 #include "internal/insort.h"
+#include "internal/replacement_selection.h"
 #include "pdm/memory_budget.h"
 #include "pdm/prefetch_buffer.h"
 #include "pdm/striped_run.h"
@@ -19,6 +21,28 @@
 
 namespace pdm {
 
+/// How runs are formed. kFixed is the legacy default: load M records, sort
+/// in core, write one run — byte-identical layout and I/O schedule to every
+/// prior release. The adaptive modes select through the loser tree and
+/// emit variable-length runs (run_len becomes the heap size): expected 2M
+/// on random input, a single run on (nearly) sorted input; kUpDown
+/// alternates ascending/descending selection (Bender et al.,
+/// 2-competitive), which additionally collapses reverse-sorted input.
+enum class RunFormationMode {
+  kFixed,
+  kReplacementSelection,
+  kUpDown,
+};
+
+inline const char* run_formation_mode_name(RunFormationMode m) {
+  switch (m) {
+    case RunFormationMode::kFixed: return "fixed";
+    case RunFormationMode::kReplacementSelection: return "replacement";
+    case RunFormationMode::kUpDown: return "updown";
+  }
+  return "?";
+}
+
 struct RunFormationOptions {
   u64 run_len = 0;          // records per run (<= M, multiple of B)
   u32 unshuffle_parts = 1;  // m; run_len must be a multiple of m*B when m>1
@@ -26,6 +50,7 @@ struct RunFormationOptions {
   u64 num_records = 0;      // 0 = to the end of the input
   ThreadPool* pool = nullptr;         // parallel internal sort
   bool parallel_scratch = false;      // allocate scratch for the pool path
+  RunFormationMode mode = RunFormationMode::kFixed;  // adaptive modes: m == 1
 };
 
 /// parts[i][j] = part j of sorted run i (stride-m decimation, itself
@@ -37,10 +62,16 @@ template <Record R>
 using FormedRuns = std::vector<std::vector<StripedRun<R>>>;
 
 /// Start-disk stride for flat (unsplit) runs: run i starts on disk
-/// (i * stride) mod D. Odd, so the map is a bijection for power-of-two D.
+/// (i * stride) mod D. Coprime to D, so the map is a bijection for every
+/// D — D/2+1 alone is even for D = 6 or 10 (colliding start disks), and
+/// odd is still not enough for D = 15 (gcd(9, 15) = 3). For power-of-two
+/// D the value is unchanged from D/2+1, preserving historical layouts.
 /// Exposed so adversarial generators can target the layout.
 inline u32 flat_run_start_stride(u32 num_disks) {
-  return num_disks >= 4 ? num_disks / 2 + 1 : 1;
+  if (num_disks < 4) return 1;
+  u32 s = (num_disks / 2 + 1) | 1;
+  while (std::gcd(s, num_disks) != 1) s += 2;
+  return s;
 }
 
 template <Record R, class Cmp = std::less<R>>
@@ -61,6 +92,19 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
                                      : opt.num_records;
   PDM_CHECK(opt.first_record + n <= input.size(), "range end out of bounds");
   PDM_CHECK(n > 0, "empty input");
+  if (opt.mode != RunFormationMode::kFixed) {
+    // Order-adaptive modes emit flat variable-length runs; the unshuffled
+    // (LMM) layout needs uniform run lengths, so it stays on kFixed.
+    PDM_CHECK(m == 1, "adaptive run formation emits flat runs only");
+    auto flat = replacement_select_runs<R>(
+        ctx, input, run_len, opt.first_record, n,
+        opt.mode == RunFormationMode::kUpDown, flat_run_start_stride(ctx.D()),
+        cmp);
+    FormedRuns<R> wrapped;
+    wrapped.reserve(flat.size());
+    for (auto& r : flat) wrapped.emplace_back().push_back(std::move(r));
+    return wrapped;
+  }
   const u64 num_runs = ceil_div(n, run_len);
   const u64 blocks_per_run = run_len / rpb;
   trace::TraceSpan trace_span("pass", "run_formation", "records", n);
@@ -140,8 +184,31 @@ FormedRuns<R> form_sorted_runs(PdmContext& ctx, const StripedRun<R>& input,
       cur ^= 1;
       continue;
     }
-    PDM_CHECK(nrec == run_len,
-              "ragged final run not supported with unshuffled output");
+    if (nrec < run_len) {
+      // Ragged final run: the stride-m decimations of the sorted tail are
+      // still sorted, but their lengths differ (part j holds every record
+      // at source index ≡ j mod m, i.e. ceil((nrec - j) / m) records) and
+      // are no longer block multiples, so the all-full-blocks staged batch
+      // below cannot be used. Fall back to append()/finish(), which pads
+      // each part's final block; per-part sizes record the true lengths,
+      // so consumers that honor records_in_block() see no padding.
+      const u64 p_len_max = ceil_div(nrec, m);
+      ctx.cpu_pool().run_chunks(static_cast<usize>(m), [&](usize j) {
+        R* dst = parts_buf.data() + j * p_len_max;
+        u64 cnt = 0;
+        for (u64 t = j; t < nrec; t += m) dst[cnt++] = buf[t];
+      });
+      runs_i.reserve(m);
+      for (u64 j = 0; j < m; ++j) {
+        runs_i.emplace_back(ctx, static_cast<u32>((i + j) % ctx.D()));
+        const u64 cnt = j < nrec ? ceil_div(nrec - j, m) : 0;
+        runs_i.back().append(std::span<const R>(
+            parts_buf.data() + j * p_len_max, static_cast<usize>(cnt)));
+        runs_i.back().finish();
+      }
+      cur ^= 1;
+      continue;
+    }
     // Gather the m stride-m decimations, then write every part in one
     // batched operation: part j, block b covers part positions
     // [b*B, (b+1)*B), i.e. source indices (b*B + t)*m + j.

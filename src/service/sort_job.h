@@ -103,6 +103,13 @@ struct SortJobSpec {
   /// tree by id alone.
   u64 trace_id = 0;
   u64 parent_trace_id = 0;
+
+  /// Opt-in order-adaptive planning: before staging, the service probes
+  /// the in-memory payload for presortedness (O(M) sampled comparisons,
+  /// zero I/O) and hands the run-count estimate to the plan cache; a
+  /// near-sorted payload then plans the one-pass order-adaptive sort.
+  /// Off by default — the probe-less plan is byte-identical to history.
+  bool order_adaptive = false;
 };
 
 /// Snapshot of one job for stats/introspection.
@@ -131,9 +138,13 @@ struct JobInfo {
 class PlanCache {
  public:
   /// Full plan entry for the shape (algorithm + expected pass count); the
-  /// pass count also drives deadline admission.
-  PlanEntry entry(u64 n, u64 mem, u64 rpb, double alpha) {
-    const Key k{n, mem, rpb, alpha};
+  /// pass count also drives deadline admission. est_runs is the probed
+  /// presortedness estimate (0 = unprobed); it is part of the cache key,
+  /// so probed and unprobed submissions of the same shape never alias —
+  /// admission paths that pass no estimate keep hitting the legacy
+  /// entries.
+  PlanEntry entry(u64 n, u64 mem, u64 rpb, double alpha, u64 est_runs = 0) {
+    const Key k{n, mem, rpb, alpha, est_runs};
     {
       std::lock_guard g(mu_);
       auto it = cache_.find(k);
@@ -144,15 +155,15 @@ class PlanCache {
     }
     // Planning outside the lock: choose_plan may throw (no feasible
     // plan), which must not poison the cache or the mutex.
-    const PlanEntry e = choose_plan(n, mem, rpb, alpha);
+    const PlanEntry e = choose_plan(n, mem, rpb, alpha, est_runs);
     std::lock_guard g(mu_);
     ++misses_;
     cache_.emplace(k, e);
     return e;
   }
 
-  Algo choose(u64 n, u64 mem, u64 rpb, double alpha) {
-    return entry(n, mem, rpb, alpha).algo;
+  Algo choose(u64 n, u64 mem, u64 rpb, double alpha, u64 est_runs = 0) {
+    return entry(n, mem, rpb, alpha, est_runs).algo;
   }
 
   /// Cache peek that never plans: the admission path uses it to tighten
@@ -162,7 +173,7 @@ class PlanCache {
   std::optional<PlanEntry> try_entry(u64 n, u64 mem, u64 rpb,
                                      double alpha) const {
     std::lock_guard g(mu_);
-    auto it = cache_.find(Key{n, mem, rpb, alpha});
+    auto it = cache_.find(Key{n, mem, rpb, alpha, 0});
     if (it == cache_.end()) return std::nullopt;
     return it->second;
   }
@@ -171,7 +182,7 @@ class PlanCache {
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
-  using Key = std::tuple<u64, u64, u64, double>;
+  using Key = std::tuple<u64, u64, u64, double, u64>;
   mutable std::mutex mu_;
   std::map<Key, PlanEntry> cache_;
   std::atomic<u64> hits_{0};

@@ -171,7 +171,18 @@ class SortService {
     job.record_bytes = sizeof(R);
     job.type_key = typeid(R).hash_code();
     auto payload = std::make_shared<std::vector<R>>(std::move(data));
-    job.run = [payload, cmp, cb = std::move(on_complete)](JobExec& ex) {
+    job.run = [payload, cmp, cb = std::move(on_complete),
+               order_adaptive = spec.order_adaptive](JobExec& ex) {
+      // Opt-in presortedness probe on the still-in-memory payload: O(M)
+      // sampled comparisons, zero I/O, before the payload is staged and
+      // freed. The run-count estimate becomes part of the plan-cache key;
+      // unprobed jobs (est_runs = 0) hit the legacy entries untouched.
+      u64 est_runs = 0;
+      if (order_adaptive && payload->size() > ex.mem_records) {
+        est_runs = probe_presortedness<R>(std::span<const R>(*payload),
+                                          ex.mem_records, cmp)
+                       .est_runs;
+      }
       auto in = write_input_run<R>(ex.ctx, std::span<const R>(*payload));
       payload->clear();
       payload->shrink_to_fit();
@@ -180,7 +191,7 @@ class SortService {
       o.alpha = ex.alpha;
       o.pool = ex.pool;
       o.force = ex.plans.choose(in.size(), ex.mem_records,
-                                ex.ctx.rpb<R>(), ex.alpha);
+                                ex.ctx.rpb<R>(), ex.alpha, est_runs);
       auto res = pdm_sort<R>(ex.ctx, in, o, cmp);
       ex.report = res.report;
       // A cancellation that lands after the last in-sort check still

@@ -15,6 +15,7 @@
 
 #include "pdm/record.h"
 #include "util/common.h"
+#include "util/math_util.h"
 #include "util/rng.h"
 
 namespace pdm {
@@ -46,6 +47,10 @@ enum class Dist {
   kZipf,          // zipf(1.0)-skewed keys
   kAllEqual,      // one key value
   kNearlySorted,  // sorted with a few random swaps
+  kNearSortedDisplaced,  // sorted, shuffled within windows of n/32 (bounded
+                         // displacement: replacement selection -> 1 run
+                         // whenever the window is at most M/2)
+  kClustered,     // 16 ascending key bands, random values within each band
 };
 
 inline const char* dist_name(Dist d) {
@@ -58,6 +63,8 @@ inline const char* dist_name(Dist d) {
     case Dist::kZipf: return "zipf";
     case Dist::kAllEqual: return "all-equal";
     case Dist::kNearlySorted: return "nearly-sorted";
+    case Dist::kNearSortedDisplaced: return "near-sorted-displaced";
+    case Dist::kClustered: return "clustered";
   }
   return "?";
 }
@@ -101,6 +108,36 @@ inline std::vector<u64> make_keys(usize n, Dist d, Rng& rng) {
         usize a = static_cast<usize>(rng.below(n));
         usize b = static_cast<usize>(rng.below(n));
         std::swap(v[a], v[b]);
+      }
+      break;
+    }
+    case Dist::kNearSortedDisplaced: {
+      // k-displaced permutation: sorted order shuffled within disjoint
+      // windows of k = n/32, so no key sits more than k positions from
+      // its sorted slot. Unlike kNearlySorted's sparse global swaps, the
+      // disorder here is dense but *bounded* — exactly the structure a
+      // replacement-selection heap of M >= 2k absorbs into a single run.
+      std::iota(v.begin(), v.end(), u64{0});
+      const usize k = std::max<usize>(2, n / 32);
+      for (usize w = 0; w < n; w += k) {
+        const usize hi = std::min(n, w + k);
+        for (usize i = hi - 1; i > w; --i) {  // Fisher-Yates on [w, hi)
+          const usize j = w + static_cast<usize>(rng.below(i - w + 1));
+          std::swap(v[i], v[j]);
+        }
+      }
+      break;
+    }
+    case Dist::kClustered: {
+      // 16 coarse key bands in ascending order, values uniform within
+      // each band: globally ordered structure with local randomness
+      // (time-partitioned log ingest). Not a permutation — duplicates
+      // can occur within a band.
+      const usize clusters = 16;
+      const usize per = std::max<usize>(1, ceil_div(n, clusters));
+      for (usize i = 0; i < n; ++i) {
+        const u64 c = i / per;
+        v[i] = (c << 40) | rng.below(u64{1} << 30);
       }
       break;
     }

@@ -134,6 +134,67 @@ TEST_P(LoserTreeK, MatchesStdMerge) {
 INSTANTIATE_TEST_SUITE_P(Fanins, LoserTreeK,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 16, 31, 64));
 
+// Regression for the replay() tie-break: better(cur, other) used to prefer
+// the incumbent path on ties, so after the first replacement equal keys
+// could surface from a higher source index first. With ties broken by
+// lower source index, a duplicate-heavy merge must drain equal keys in
+// (source, position) order: whenever heads tie, the lowest source pops,
+// and since each source is internally ordered, every equal-key group in
+// the output is sorted by source index, then by position within source.
+TEST(LoserTree, StableBySourceIndexUnderHeavyDuplicates) {
+  struct Tagged {
+    u64 key = 0;
+    u32 src = 0;
+    u32 pos = 0;
+  };
+  struct KeyLess {
+    bool operator()(const Tagged& a, const Tagged& b) const {
+      return a.key < b.key;
+    }
+  };
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const usize k = 2 + static_cast<usize>(rng.below(14));
+    std::vector<std::vector<Tagged>> src(k);
+    for (usize i = 0; i < k; ++i) {
+      const usize len = 20 + static_cast<usize>(rng.below(60));
+      std::vector<u64> keys(len);
+      for (auto& x : keys) x = rng.below(5);  // ~len/5 duplicates per key
+      std::sort(keys.begin(), keys.end());
+      for (usize p = 0; p < len; ++p) {
+        src[i].push_back(
+            Tagged{keys[p], static_cast<u32>(i), static_cast<u32>(p)});
+      }
+    }
+    LoserTree<Tagged, KeyLess> tree(k);
+    std::vector<usize> pos(k, 1);
+    for (usize i = 0; i < k; ++i) tree.set_initial(i, src[i][0]);
+    tree.build();
+    std::vector<Tagged> out;
+    while (!tree.empty()) {
+      const usize s = tree.min_source();
+      out.push_back(tree.min_value());
+      if (pos[s] < src[s].size()) {
+        tree.replace_min(src[s][pos[s]++]);
+      } else {
+        tree.exhaust_min();
+      }
+    }
+    for (usize i = 1; i < out.size(); ++i) {
+      ASSERT_LE(out[i - 1].key, out[i].key) << "disorder at " << i;
+      if (out[i - 1].key == out[i].key) {
+        const bool stable =
+            out[i - 1].src < out[i].src ||
+            (out[i - 1].src == out[i].src && out[i - 1].pos < out[i].pos);
+        ASSERT_TRUE(stable) << "unstable tie at " << i << ": ("
+                            << out[i - 1].src << "," << out[i - 1].pos
+                            << ") before (" << out[i].src << "," << out[i].pos
+                            << ")";
+      }
+    }
+  }
+}
+
 TEST(LoserTree, AllSourcesEmpty) {
   LoserTree<u64> tree(4);
   tree.build();

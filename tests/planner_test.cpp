@@ -33,11 +33,26 @@ TEST(Planner, BeyondCap2PrefersThreePassFamilies) {
 
 TEST(Planner, EveryOptionReportsCapacity) {
   auto opts = plan_options(1u << 20, 1u << 12, 1u << 6, 1.0);
-  EXPECT_EQ(opts.size(), 8u);
+  EXPECT_EQ(opts.size(), 9u);
   for (const auto& o : opts) {
     EXPECT_GT(o.capacity, 0u) << algo_name(o.algo);
-    EXPECT_GT(o.expected_passes, 0.0);
+    // The order-adaptive entry is unranked (passes 0, infeasible) until a
+    // presortedness probe supplies est_runs; every other entry has a
+    // concrete pass count.
+    if (o.algo == Algo::kOrderAdaptive) {
+      EXPECT_FALSE(o.feasible);
+    } else {
+      EXPECT_GT(o.expected_passes, 0.0);
+    }
     EXPECT_FALSE(o.note.empty());
+  }
+  auto probed = plan_options(1u << 20, 1u << 12, 1u << 6, 1.0, 16);
+  for (const auto& o : probed) {
+    if (o.algo == Algo::kOrderAdaptive) {
+      EXPECT_TRUE(o.feasible);
+      EXPECT_GT(o.expected_passes, 0.0);
+      EXPECT_EQ(o.est_runs, 16u);
+    }
   }
 }
 

@@ -106,6 +106,59 @@ TEST(RunFormation, RangeRestriction) {
   EXPECT_EQ(all, expect);
 }
 
+// Regression for flat_run_start_stride(): D/2+1 is even for D = 6 or 10
+// (start-disk collisions) and gcd(9, 15) = 3 spoils D = 15 even after
+// forcing odd. The stride must make i -> (i * stride) mod D a bijection
+// for every D, and must keep the historical value for power-of-two D
+// (byte-identical layouts on the standard geometry).
+TEST(RunFormation, StartStrideIsBijectionForAllDiskCounts) {
+  for (u32 d = 2; d <= 16; ++d) {
+    const u32 stride = flat_run_start_stride(d);
+    std::vector<bool> hit(d, false);
+    for (u32 i = 0; i < d; ++i) {
+      const u32 disk = (i * stride) % d;
+      EXPECT_FALSE(hit[disk]) << "D=" << d << " stride=" << stride
+                              << ": start disk " << disk << " repeats";
+      hit[disk] = true;
+    }
+  }
+  EXPECT_EQ(flat_run_start_stride(8), 5u);    // unchanged power-of-two values
+  EXPECT_EQ(flat_run_start_stride(16), 9u);
+  EXPECT_EQ(flat_run_start_stride(6), 5u);    // was 4 (even) before the fix
+  EXPECT_EQ(flat_run_start_stride(15), 11u);  // odd 9 shares a factor with 15
+}
+
+// Regression: a ragged final run with unshuffle_parts > 1 used to abort
+// via PDM_CHECK. The tail now falls back to append()/finish() per part;
+// parts stay sorted decimations of the sorted tail with the true lengths.
+TEST(RunFormation, RaggedFinalRunWithUnshuffledParts) {
+  const auto g = Geometry::square(256);
+  auto ctx = test::make_ctx<u64>(g);
+  Rng rng(17);
+  // Ragged tail of 96 records: 6 per part — below one block (B = 16), so
+  // every part run exercises the padded partial-block append path.
+  const usize n = 256 + 96;
+  auto data = make_keys(n, Dist::kUniform, rng);
+  auto in = test::stage_input<u64>(*ctx, data);
+  RunFormationOptions opt;
+  opt.run_len = 256;
+  opt.unshuffle_parts = 16;
+  auto parts = form_sorted_runs<u64>(*ctx, in, opt);
+  ASSERT_EQ(parts.size(), 2u);
+  ASSERT_EQ(parts[1].size(), 16u);
+  std::vector<u64> tail_sorted(data.begin() + 256, data.end());
+  std::sort(tail_sorted.begin(), tail_sorted.end());
+  std::vector<u64> rebuilt(tail_sorted.size());
+  for (usize j = 0; j < 16; ++j) {
+    auto pj = parts[1][j].read_all();
+    const usize expect_len = (96 - j + 15) / 16;  // ceil((nrec - j) / m)
+    ASSERT_EQ(pj.size(), expect_len) << "part " << j;
+    EXPECT_TRUE(std::is_sorted(pj.begin(), pj.end()));
+    for (usize t = 0; t < pj.size(); ++t) rebuilt[t * 16 + j] = pj[t];
+  }
+  EXPECT_EQ(rebuilt, tail_sorted);
+}
+
 TEST(RunFormation, RaggedFinalRun) {
   const auto g = Geometry::square(256);
   auto ctx = test::make_ctx<u64>(g);
